@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or an
+ablation) and asserts its qualitative shape.  To keep wall-clock cost
+interactive the benchmarks use the offered-load-preserving rescaling
+(mean lifetime 180 s -> 30 s, arrival rates x6): admission
+probabilities in a loss network depend only on the load lambda/mu, so
+the paper's operating points are preserved exactly while warm-up
+transients shrink six-fold.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: lifetime rescaling factor (180 s -> 30 s).
+SCALE = 6.0
+
+#: The paper's lambda grid, rescaled.
+RATES = tuple(SCALE * rate for rate in (5.0, 20.0, 35.0, 50.0))
+#: Heavier subset for ablations.
+HEAVY_RATE = SCALE * 35.0
+
+
+def bench_config(seed: int = 2001, **overrides) -> ExperimentConfig:
+    """The benchmark experiment setup (see module docstring)."""
+    defaults = dict(
+        mean_lifetime_s=30.0,
+        warmup_s=150.0,
+        measure_s=600.0,
+        replications=1,
+        seed=seed,
+        arrival_rates=RATES,
+        retrial_limits=(1, 2, 3, 5),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture
+def config() -> ExperimentConfig:
+    return bench_config()

@@ -1,0 +1,54 @@
+"""Ablation: the WD/D+H history-decay parameter alpha.
+
+The paper introduces alpha (eq. 8-9) — 0 gives the history maximal
+impact, 1 none — but never sweeps it.  This bench does: alpha = 1 must
+degrade WD/D+H to the distance-only WD/D system, and any alpha < 1
+should beat that degenerate case at heavy load.
+"""
+
+import pytest
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+
+ALPHAS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def run_alpha_sweep(config):
+    points = {}
+    for alpha in ALPHAS:
+        spec = SystemSpec("WD/D+H", retrials=2, alpha=alpha)
+        points[alpha] = run_point(spec, HEAVY_RATE, config)
+    points["WD/D"] = run_point(SystemSpec("WD/D", retrials=2), HEAVY_RATE, config)
+    return points
+
+
+def test_alpha_sweep(benchmark):
+    config = bench_config()
+    points = benchmark.pedantic(run_alpha_sweep, args=(config,), rounds=1, iterations=1)
+
+    rows = [
+        [str(key), f"{p.admission_probability:.4f}", f"{p.mean_retrials:.4f}"]
+        for key, p in points.items()
+    ]
+    print()
+    print(format_table(["alpha", "AP", "retrials"], rows,
+                       title=f"WD/D+H alpha sweep at lambda={HEAVY_RATE:g}"))
+
+    # alpha=1 disables history: statistically identical to WD/D.
+    assert points[1.0].admission_probability == pytest.approx(
+        points["WD/D"].admission_probability, abs=0.02
+    )
+
+    # History helps: every alpha < 1 is at least as good as alpha = 1.
+    for alpha in (0.0, 0.25, 0.5, 0.75):
+        assert (
+            points[alpha].admission_probability
+            >= points[1.0].admission_probability - 0.01
+        ), alpha
+
+    # History also cuts overhead: fewer retrials than the blind case.
+    assert points[0.5].mean_retrials <= points[1.0].mean_retrials + 0.02

@@ -1,0 +1,48 @@
+"""Ablation: isolating the distance term of WD/D+H.
+
+WD/D+H = inverse-distance seed + history decay.  Comparing
+ED < WD/D < WD/D+H separates how much of the gain comes from static
+distance bias versus dynamic history.
+"""
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+
+
+def run_decomposition(config):
+    return {
+        label: run_point(SystemSpec(algorithm, retrials=2), HEAVY_RATE, config)
+        for label, algorithm in (
+            ("ED", "ED"),
+            ("WD/D", "WD/D"),
+            ("WD/D+H", "WD/D+H"),
+        )
+    }
+
+
+def test_distance_and_history_decomposition(benchmark):
+    config = bench_config()
+    points = benchmark.pedantic(
+        run_decomposition, args=(config,), rounds=1, iterations=1
+    )
+    rows = [
+        [label, f"{p.admission_probability:.4f}", f"{p.mean_retrials:.4f}"]
+        for label, p in points.items()
+    ]
+    print()
+    print(format_table(["system", "AP", "retrials"], rows,
+                       title=f"selection-information decomposition at lambda={HEAVY_RATE:g}"))
+
+    # Monotone information ordering (small noise margin).
+    assert (
+        points["WD/D+H"].admission_probability
+        >= points["ED"].admission_probability - 0.01
+    )
+    # History must not hurt relative to its own static seed.
+    assert (
+        points["WD/D+H"].admission_probability
+        >= points["WD/D"].admission_probability - 0.015
+    )

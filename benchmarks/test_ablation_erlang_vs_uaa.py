@@ -1,0 +1,64 @@
+"""Ablation: exact Erlang-B vs the paper's UAA inside the fixed point.
+
+The paper computes link blocking with the Uniform Asymptotic
+Approximation (Appendix A.2); exact Erlang-B is numerically trivial
+today.  This bench quantifies the end-to-end difference on the Table 1
+analysis — it should be far below the analysis-vs-simulation gap —
+and benchmarks the raw blocking-function cost.
+"""
+
+import pytest
+
+from conftest import RATES
+
+from repro.analysis.admission import analyze_system
+from repro.analysis.erlang import erlang_b, uaa_blocking
+from repro.core.system import SystemSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.network.topologies import mci_backbone
+
+
+def run_both_pathways():
+    config = ExperimentConfig(mean_lifetime_s=30.0)
+    network = mci_backbone()
+    rows = []
+    for rate in RATES:
+        workload = config.workload(rate)
+        exact = analyze_system(
+            network, workload, SystemSpec("ED", retrials=1),
+            blocking_function=erlang_b,
+        )
+        approx = analyze_system(
+            network, workload, SystemSpec("ED", retrials=1),
+            blocking_function=uaa_blocking,
+        )
+        rows.append((rate, exact.admission_probability, approx.admission_probability))
+    return rows
+
+
+def test_uaa_pathway_matches_exact(benchmark):
+    rows = benchmark.pedantic(run_both_pathways, rounds=1, iterations=1)
+    table = [
+        [f"{rate:g}", f"{exact:.6f}", f"{approx:.6f}", f"{abs(exact - approx):.2e}"]
+        for rate, exact, approx in rows
+    ]
+    print()
+    print(format_table(
+        ["lambda", "Erlang-B AP", "UAA AP", "|gap|"], table,
+        title="blocking-function ablation, <ED,1> analysis",
+    ))
+    for rate, exact, approx in rows:
+        assert approx == pytest.approx(exact, abs=0.002), rate
+
+
+def test_erlang_b_speed(benchmark):
+    """Raw cost of the exact recursion at the paper's capacity."""
+    result = benchmark(erlang_b, 350.0, 312)
+    assert 0.0 < result < 1.0
+
+
+def test_uaa_speed(benchmark):
+    """Raw cost of the closed-form UAA at the paper's capacity."""
+    result = benchmark(uaa_blocking, 350.0, 312)
+    assert 0.0 < result < 1.0

@@ -1,0 +1,64 @@
+"""Ablation: per-source fairness of the selection algorithms.
+
+The paper reports only network-wide admission probability, which can
+hide starvation of poorly-placed sources.  This bench compares Jain's
+fairness index over per-source APs: the randomized DAC systems should
+spread rejection pain far more evenly than SP, whose fixed nearest-
+member funnelling concentrates congestion on particular regions.
+"""
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.sim.simulation import AnycastSimulation
+
+
+def run_fairness(config: ExperimentConfig):
+    results = {}
+    for algorithm in ("SP", "ED", "WD/D+H", "WD/D+B", "GDI"):
+        simulation = AnycastSimulation(
+            network_factory=config.network_factory(),
+            system_spec=SystemSpec(algorithm, retrials=2),
+            workload=config.workload(HEAVY_RATE),
+            warmup_s=config.warmup_s,
+            measure_s=config.measure_s,
+            seed=config.seed,
+        )
+        results[algorithm] = simulation.run()
+    return results
+
+
+def test_fairness_across_algorithms(benchmark):
+    config = bench_config()
+    results = benchmark.pedantic(run_fairness, args=(config,), rounds=1, iterations=1)
+
+    rows = []
+    for algorithm, result in results.items():
+        aps = list(result.per_source_ap.values())
+        rows.append(
+            [
+                algorithm,
+                f"{result.admission_probability:.4f}",
+                f"{result.fairness_index:.4f}",
+                f"{min(aps):.4f}",
+                f"{max(aps):.4f}",
+            ]
+        )
+    print()
+    print(format_table(
+        ["system", "AP", "Jain index", "worst source", "best source"],
+        rows,
+        title=f"per-source fairness at lambda={HEAVY_RATE:g}",
+    ))
+
+    # Randomized distribution is at least as fair as fixed funnelling.
+    assert results["ED"].fairness_index >= results["SP"].fairness_index - 0.02
+    # Every system keeps a sane index (no total starvation).
+    for algorithm, result in results.items():
+        assert result.fairness_index > 0.5, algorithm
+    # The worst-placed source under SP does worse than under ED.
+    sp_worst = min(results["SP"].per_source_ap.values())
+    ed_worst = min(results["ED"].per_source_ap.values())
+    assert ed_worst >= sp_worst - 0.02

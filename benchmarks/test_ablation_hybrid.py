@@ -1,0 +1,57 @@
+"""Ablation: the WD/D+H+B hybrid against its parent algorithms.
+
+The paper's algorithm family orders information sources (none <
+distance+history < distance+bandwidth); the obvious combination —
+distance, history AND bandwidth together — is left unexplored.  This
+bench completes the picture at the heavy-load operating point.
+"""
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+
+ALGORITHMS = ("ED", "WD/D+H", "WD/D+B", "WD/D+H+B")
+
+
+def run_family(config):
+    return {
+        algorithm: run_point(
+            SystemSpec(algorithm, retrials=2), HEAVY_RATE, config
+        )
+        for algorithm in ALGORITHMS
+    }
+
+
+def test_hybrid_completes_the_family(benchmark):
+    config = bench_config()
+    points = benchmark.pedantic(run_family, args=(config,), rounds=1, iterations=1)
+
+    rows = [
+        [
+            algorithm,
+            f"{p.admission_probability:.4f}",
+            f"{p.mean_retrials:.4f}",
+        ]
+        for algorithm, p in points.items()
+    ]
+    print()
+    print(format_table(
+        ["system", "AP", "retrials"], rows,
+        title=f"algorithm family at lambda={HEAVY_RATE:g} (R=2)",
+    ))
+
+    hybrid = points["WD/D+H+B"].admission_probability
+    # The hybrid must not lose to the weaker parent...
+    assert hybrid >= min(
+        points["WD/D+H"].admission_probability,
+        points["WD/D+B"].admission_probability,
+    ) - 0.01
+    # ...and clearly beats the information-free baseline.
+    assert hybrid > points["ED"].admission_probability - 0.01
+    # Overhead stays at the informed-algorithm level.
+    assert (
+        points["WD/D+H+B"].mean_retrials
+        <= points["ED"].mean_retrials + 0.03
+    )

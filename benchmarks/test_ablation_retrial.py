@@ -1,0 +1,44 @@
+"""Ablation: retrial sampling discipline.
+
+The paper's retrial control caps attempts at R; whether a failed
+destination may be re-drawn is left implicit (R's upper limit at the
+group size suggests without-replacement, which is our default).  This
+bench quantifies the difference: resampling failed destinations wastes
+attempts, so it can only do worse on both AP and overhead.
+"""
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+
+
+def run_disciplines(config):
+    exclude = run_point(
+        SystemSpec("ED", retrials=3, resample_failed=False), HEAVY_RATE, config
+    )
+    resample = run_point(
+        SystemSpec("ED", retrials=3, resample_failed=True), HEAVY_RATE, config
+    )
+    return exclude, resample
+
+
+def test_without_replacement_dominates(benchmark):
+    config = bench_config()
+    exclude, resample = benchmark.pedantic(
+        run_disciplines, args=(config,), rounds=1, iterations=1
+    )
+    rows = [
+        ["exclude failed", f"{exclude.admission_probability:.4f}",
+         f"{exclude.mean_retrials:.4f}"],
+        ["resample failed", f"{resample.admission_probability:.4f}",
+         f"{resample.mean_retrials:.4f}"],
+    ]
+    print()
+    print(format_table(
+        ["discipline", "AP", "retrials"], rows,
+        title=f"<ED,3> retrial discipline at lambda={HEAVY_RATE:g}",
+    ))
+    # Re-drawing known-failed destinations cannot admit more flows.
+    assert exclude.admission_probability >= resample.admission_probability - 0.01

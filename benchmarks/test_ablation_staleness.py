@@ -1,0 +1,54 @@
+"""Ablation: how stale bandwidth information erodes WD/D+B.
+
+The paper grants WD/D+B always-fresh route-bandwidth values while
+flagging the compatibility cost of obtaining them (Section 4.3.2).  In
+a deployment the values arrive via periodic signalling and age in
+between.  This bench sweeps the snapshot refresh period: fresh
+snapshots should match the paper's WD/D+B, while badly stale ones
+erode toward (or below) the static distance-weighted system — shifting
+the practical trade-off further toward WD/D+H, exactly the paper's
+recommendation.
+"""
+
+from conftest import HEAVY_RATE, bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+
+#: Snapshot refresh periods in seconds of simulated time (0 = live).
+PERIODS = (0.0, 1.0, 10.0, 60.0)
+
+
+def run_staleness_sweep(config):
+    points = {}
+    for period in PERIODS:
+        spec = SystemSpec("WD/D+B", retrials=2, bandwidth_refresh_s=period)
+        points[period] = run_point(spec, HEAVY_RATE, config)
+    points["WD/D"] = run_point(SystemSpec("WD/D", retrials=2), HEAVY_RATE, config)
+    return points
+
+
+def test_staleness_sweep(benchmark):
+    config = bench_config()
+    points = benchmark.pedantic(
+        run_staleness_sweep, args=(config,), rounds=1, iterations=1
+    )
+    rows = [
+        [str(key), f"{p.admission_probability:.4f}", f"{p.mean_retrials:.4f}"]
+        for key, p in points.items()
+    ]
+    print()
+    print(format_table(
+        ["refresh period (s)", "AP", "retrials"], rows,
+        title=f"WD/D+B bandwidth staleness at lambda={HEAVY_RATE:g}",
+    ))
+
+    fresh = points[0.0].admission_probability
+    # Mildly stale info (1 s at ~200 req/s) barely hurts.
+    assert points[1.0].admission_probability >= fresh - 0.03
+    # Fresh information is never worse than badly stale information.
+    assert fresh >= points[60.0].admission_probability - 0.01
+    # Stale WD/D+B still functions (well-defined, nonzero admissions).
+    for period in PERIODS:
+        assert points[period].admission_probability > 0.2

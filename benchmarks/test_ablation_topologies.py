@@ -1,0 +1,70 @@
+"""Ablation: topology robustness of the Figure 6 ordering.
+
+The MCI wiring is a substitution (DESIGN.md), so the headline
+ordering SP <= ED <= {WD/D+H, WD/D+B} <= GDI is re-verified on NSFNET
+and on a random Waxman topology.
+"""
+
+from conftest import bench_config
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+from repro.network.topologies import waxman_random
+
+SYSTEMS = (
+    SystemSpec("SP"),
+    SystemSpec("ED", retrials=2),
+    SystemSpec("WD/D+H", retrials=2),
+    SystemSpec("WD/D+B", retrials=2),
+    SystemSpec("GDI"),
+)
+
+
+def run_topology(config, heavy_rate):
+    return {
+        spec.label: run_point(spec, heavy_rate, config) for spec in SYSTEMS
+    }
+
+
+def assert_ordering(points):
+    sp = points["SP"].admission_probability
+    gdi = points["GDI"].admission_probability
+    for label in ("<ED,2>", "<WD/D+H,2>", "<WD/D+B,2>"):
+        ap = points[label].admission_probability
+        assert ap >= sp - 0.02, label
+        assert ap <= gdi + 0.02, label
+
+
+def test_nsfnet_ordering(benchmark):
+    config = bench_config(
+        topology="nsfnet",
+        sources=(1, 3, 7, 11, 13),
+        group_members=(0, 5, 9),
+    )
+    heavy_rate = 6.0 * 25.0
+    points = benchmark.pedantic(
+        run_topology, args=(config, heavy_rate), rounds=1, iterations=1
+    )
+    rows = [[l, f"{p.admission_probability:.4f}"] for l, p in points.items()]
+    print()
+    print(format_table(["system", "AP"], rows, title="NSFNET ordering"))
+    assert_ordering(points)
+
+
+def test_waxman_ordering(benchmark):
+    network = waxman_random(20, seed=42)
+    nodes = network.nodes()
+    config = bench_config(
+        topology="waxman20",
+        sources=tuple(nodes[10:18]),
+        group_members=tuple(nodes[:4]),
+    )
+    heavy_rate = 6.0 * 25.0
+    points = benchmark.pedantic(
+        run_topology, args=(config, heavy_rate), rounds=1, iterations=1
+    )
+    rows = [[l, f"{p.admission_probability:.4f}"] for l, p in points.items()]
+    print()
+    print(format_table(["system", "AP"], rows, title="Waxman-20 ordering"))
+    assert_ordering(points)

@@ -1,0 +1,39 @@
+"""Figure 3: admission probability of <ED, R> vs arrival rate.
+
+Regenerates the paper's Figure 3 series (one curve per retrial limit
+R) and asserts its three observations: AP falls with load, rises with
+R, and the R=1->2 step dominates.
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_fig3_ed_sensitivity(benchmark, config):
+    result = benchmark.pedantic(figure3, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    rates = list(result.x_values)
+    series = {label: result.series_for(label) for label in result.series}
+
+    # Observation: AP decreases with arrival rate for every R.
+    for label, values in series.items():
+        assert values == sorted(values, reverse=True), label
+
+    # Observation 1: AP increases with R at every loaded rate.
+    for i, rate in enumerate(rates[1:], start=1):
+        assert series["<ED,2>"][i] >= series["<ED,1>"][i] - 0.01, rate
+        assert series["<ED,3>"][i] >= series["<ED,2>"][i] - 0.01, rate
+        assert series["<ED,5>"][i] >= series["<ED,3>"][i] - 0.01, rate
+
+    # Observation 2: the first retrial gives the dominant improvement;
+    # R=3 -> R=5 is nearly invisible.  Checked at the heaviest rate.
+    last = -1
+    gain_first = series["<ED,2>"][last] - series["<ED,1>"][last]
+    gain_late = series["<ED,5>"][last] - series["<ED,3>"][last]
+    assert gain_first > gain_late - 0.01
+    assert gain_late < 0.05
+
+    # Everything ~1 at the light-load point.
+    for values in series.values():
+        assert values[0] > 0.99

@@ -1,0 +1,24 @@
+"""Figure 4: admission probability of <WD/D+H, R> vs arrival rate."""
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_wddh_sensitivity(benchmark, config):
+    result = benchmark.pedantic(figure4, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    series = {label: result.series_for(label) for label in result.series}
+
+    # AP decreases with arrival rate for every R.
+    for label, values in series.items():
+        assert values == sorted(values, reverse=True), label
+
+    # AP increases with R at the heavy rates.
+    last = -1
+    assert series["<WD/D+H,2>"][last] >= series["<WD/D+H,1>"][last] - 0.01
+    assert series["<WD/D+H,5>"][last] >= series["<WD/D+H,2>"][last] - 0.01
+
+    # Light load: everything admitted.
+    for values in series.values():
+        assert values[0] > 0.99

@@ -1,0 +1,53 @@
+"""Figure 5: admission probability of <WD/D+B, R> vs arrival rate.
+
+Also asserts the paper's observation 3: systems with *higher* AP are
+*less* sensitive to R — WD/D+B gains less from retrials than ED does,
+because informed selection makes fewer correctable mistakes.
+"""
+
+from repro.experiments.figures import figure3, figure5
+
+
+def test_fig5_wddb_sensitivity(benchmark, config):
+    result = benchmark.pedantic(figure5, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    series = {label: result.series_for(label) for label in result.series}
+
+    for label, values in series.items():
+        assert values == sorted(values, reverse=True), label
+    last = -1
+    assert series["<WD/D+B,5>"][last] >= series["<WD/D+B,1>"][last] - 0.01
+    for values in series.values():
+        assert values[0] > 0.99
+
+
+def test_fig5_observation3_sensitivity_ordering(benchmark, config):
+    """Observation 3: ED (lower AP) is more sensitive to R than WD/D+B.
+
+    Only the four corner points (ED/WD/D+B at R in {1, 5}, heaviest
+    rate) are needed, so this runs them directly instead of repeating
+    the full figures.
+    """
+    from conftest import HEAVY_RATE
+
+    from repro.core.system import SystemSpec
+    from repro.experiments.runner import run_point
+
+    def corners():
+        return {
+            (algorithm, r): run_point(
+                SystemSpec(algorithm, retrials=r), HEAVY_RATE, config
+            ).admission_probability
+            for algorithm in ("ED", "WD/D+B")
+            for r in (1, 5)
+        }
+
+    aps = benchmark.pedantic(corners, rounds=1, iterations=1)
+    ed_gain = aps[("ED", 5)] - aps[("ED", 1)]
+    wddb_gain = aps[("WD/D+B", 5)] - aps[("WD/D+B", 1)]
+    print()
+    print(f"R-sensitivity gains at lambda={HEAVY_RATE:g}: "
+          f"ED={ed_gain:.4f}, WD/D+B={wddb_gain:.4f}")
+    assert ed_gain >= wddb_gain - 0.02

@@ -1,0 +1,37 @@
+"""Figure 6: the three DAC systems against the SP and GDI baselines.
+
+The paper's central result: SP is worst, GDI is the (unrealizable)
+best, and the local-information DAC systems sit close to GDI — with
+WD/D+H and WD/D+B above ED.
+"""
+
+from repro.experiments.figures import figure6
+
+
+def test_fig6_system_comparison(benchmark, config):
+    result = benchmark.pedantic(figure6, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    series = {label: result.series_for(label) for label in result.series}
+    rates = list(result.x_values)
+    last = len(rates) - 1
+
+    # At very low rates all systems perform equally (obs. 1).
+    for label, values in series.items():
+        assert values[0] > 0.99, label
+
+    # SP worst, GDI best at every loaded rate (obs. 1).
+    for i in range(1, len(rates)):
+        sp = series["SP"][i]
+        gdi = series["GDI"][i]
+        for label in ("<ED,2>", "<WD/D+H,2>", "<WD/D+B,2>"):
+            assert series[label][i] > sp - 0.01, (label, rates[i])
+            assert series[label][i] <= gdi + 0.02, (label, rates[i])
+
+    # Informed selection beats blind ED at the heavy point (obs. 2).
+    assert series["<WD/D+H,2>"][last] >= series["<ED,2>"][last] - 0.01
+    assert series["<WD/D+B,2>"][last] >= series["<ED,2>"][last] - 0.01
+
+    # The headline: DAC with local information is *close* to GDI.
+    assert series["GDI"][last] - series["<WD/D+B,2>"][last] < 0.15

@@ -1,0 +1,35 @@
+"""Figure 7: average number of retrials (overhead) vs arrival rate.
+
+Paper observation 3 (Section 5.2.2): <ED,2> pays the most retrials,
+<WD/D+B,2> the fewest — better information means fewer corrected
+mistakes, hence less signalling overhead.
+"""
+
+from repro.experiments.figures import figure7
+
+
+def test_fig7_average_retrials(benchmark, config):
+    result = benchmark.pedantic(figure7, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    series = {label: result.series_for(label) for label in result.series}
+    rates = list(result.x_values)
+
+    # Retrials grow with load for every system.
+    for label, values in series.items():
+        assert values == sorted(values), label
+        # With R=2 the retrial count per request lies in [0, 1].
+        assert all(0.0 <= v <= 1.0 for v in values), label
+
+    # Overhead ordering at the loaded rates: ED >= WD/D+H >= WD/D+B.
+    for i in range(1, len(rates)):
+        ed = series["<ED,2>"][i]
+        wddh = series["<WD/D+H,2>"][i]
+        wddb = series["<WD/D+B,2>"][i]
+        assert ed >= wddh - 0.03, rates[i]
+        assert wddh >= wddb - 0.03, rates[i]
+
+    # Nearly no retrials at the light-load point.
+    for values in series.values():
+        assert values[0] < 0.05

@@ -1,0 +1,112 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure — these track the raw cost of the discrete-event
+engine, the reservation hot path and the fixed-point solver, so
+regressions in the substrate are visible independently of the
+experiment-level benches.
+"""
+
+from repro.analysis.fixedpoint import ReducedLoadSolver, RouteLoad
+from repro.core.system import SystemSpec
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.routing import RouteTable
+from repro.network.topologies import MCI_GROUP_MEMBERS, MCI_SOURCES, mci_backbone
+from repro.sim.engine import Simulator
+from repro.sim.simulation import AnycastSimulation
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-run cost of 10k chained events."""
+
+    def run_chain():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run_chain) == 10_000
+
+
+def test_path_reservation_throughput(benchmark):
+    """Reserve/release cycles on a 4-hop MCI route."""
+    network = mci_backbone()
+    table = RouteTable(network, 9, MCI_GROUP_MEMBERS)
+    route = max(table.routes(), key=lambda r: r.distance)
+
+    def cycle():
+        for i in range(100):
+            assert network.reserve_path(route.path, i, 64_000.0)
+        for i in range(100):
+            network.release_path(route.path, i)
+
+    benchmark(cycle)
+
+
+def test_fixed_point_solve_speed(benchmark):
+    """Reduced-load solve on the full MCI route set at heavy load."""
+    network = mci_backbone()
+    capacities = {
+        (l.source, l.target): int(l.capacity_bps // 64_000) for l in network.links()
+    }
+    routes = []
+    for source in MCI_SOURCES:
+        table = RouteTable(network, source, MCI_GROUP_MEMBERS)
+        for route in table.routes():
+            links = tuple(zip(route.path, route.path[1:]))
+            routes.append(RouteLoad(links=links, load_erlangs=200.0))
+
+    def solve():
+        return ReducedLoadSolver(capacities, routes).solve()
+
+    solution = benchmark(solve)
+    assert solution.converged
+
+
+def test_simulation_end_to_end_speed(benchmark):
+    """Wall-clock of a short but complete <WD/D+H,2> run."""
+    workload = WorkloadSpec(
+        arrival_rate=120.0,
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+        mean_lifetime_s=30.0,
+    )
+
+    def run():
+        return AnycastSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec("WD/D+H", retrials=2),
+            workload=workload,
+            warmup_s=50.0,
+            measure_s=150.0,
+            seed=3,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.requests > 0
+
+
+def test_engine_event_throughput_calendar_queue(benchmark):
+    """Same chained-event workload on the calendar-queue engine."""
+
+    def run_chain():
+        sim = Simulator(queue="calendar")
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run_chain) == 10_000

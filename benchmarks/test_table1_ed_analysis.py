@@ -1,0 +1,28 @@
+"""Table 1: mathematical analysis vs computer simulation for <ED,1>.
+
+The paper reports near-identical values at lambda in {5, 20, 35, 50};
+this regenerates both rows and asserts the agreement.
+"""
+
+from conftest import RATES
+
+from repro.experiments.tables import table1
+
+
+def test_table1_analysis_vs_simulation(benchmark, config):
+    result = benchmark.pedantic(
+        table1, kwargs={"config": config, "arrival_rates": RATES},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    print(f"max |analysis - simulation| = {result.max_absolute_gap:.6f}")
+
+    # Both rows decrease with load; both start at ~1.
+    assert list(result.analysis) == sorted(result.analysis, reverse=True)
+    assert list(result.simulation) == sorted(result.simulation, reverse=True)
+    assert result.analysis[0] > 0.999
+    assert result.simulation[0] > 0.99
+
+    # The paper's Appendix A.3 claim: "almost identical".
+    assert result.max_absolute_gap < 0.03

@@ -1,0 +1,20 @@
+"""Table 2: mathematical analysis vs computer simulation for SP."""
+
+from conftest import RATES
+
+from repro.experiments.tables import table2
+
+
+def test_table2_analysis_vs_simulation(benchmark, config):
+    result = benchmark.pedantic(
+        table2, kwargs={"config": config, "arrival_rates": RATES},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    print(f"max |analysis - simulation| = {result.max_absolute_gap:.6f}")
+
+    assert list(result.analysis) == sorted(result.analysis, reverse=True)
+    assert list(result.simulation) == sorted(result.simulation, reverse=True)
+    assert result.analysis[0] > 0.999
+    assert result.max_absolute_gap < 0.03

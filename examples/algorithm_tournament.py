@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The full algorithm tournament: every selector, every metric.
+
+Runs all seven destination-selection systems — the paper's three (ED,
+WD/D+H, WD/D+B), both baselines (SP, GDI), the distance-only ablation
+(WD/D) and this library's hybrid (WD/D+H+B) — on the same workload and
+scores them on four axes:
+
+* admission probability (the paper's headline metric),
+* retrial overhead (Figure 7's cost metric),
+* per-source fairness (Jain index; does anyone get starved?),
+* congestion concentration (Gini of link utilizations; who funnels?).
+
+Run:  python examples/algorithm_tournament.py
+"""
+
+from repro.core.system import SystemSpec
+from repro.experiments.diagnostics import congestion_report
+from repro.experiments.report import format_table
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topologies import MCI_GROUP_MEMBERS, MCI_SOURCES, mci_backbone
+from repro.sim.simulation import AnycastSimulation
+
+ALGORITHMS = ("SP", "ED", "WD/D", "WD/D+H", "WD/D+B", "WD/D+H+B", "GDI")
+
+
+def main() -> None:
+    # The paper's lambda=35 operating point, with lifetimes rescaled
+    # 180 s -> 60 s and the rate tripled (admission probability depends
+    # only on the offered load lambda/mu) so steady state arrives 3x
+    # sooner.
+    workload = WorkloadSpec(
+        arrival_rate=105.0,
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+        mean_lifetime_s=60.0,
+    )
+    print("Algorithm tournament on the MCI backbone (paper lambda = 35/s)")
+    print("=" * 70)
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        simulation = AnycastSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec(algorithm, retrials=2),
+            workload=workload,
+            warmup_s=400.0,
+            measure_s=1600.0,
+            seed=35,
+        )
+        result = simulation.run()
+        congestion = congestion_report(result)
+        rows.append(
+            [
+                algorithm,
+                f"{result.admission_probability:.4f}",
+                f"{result.mean_retrials:.3f}",
+                f"{result.fairness_index:.4f}",
+                f"{congestion.gini:.3f}",
+                f"{congestion.peak_utilization:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            ["system", "AP", "retrials", "Jain fairness", "util gini", "peak link"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "How to read this: GDI bounds what is achievable; SP shows the\n"
+        "cost of ignoring the anycast choice (low AP, unfair, funnelled\n"
+        "links).  The weighted DAC systems close most of the gap with\n"
+        "purely local information — the paper's thesis — and the hybrid\n"
+        "WD/D+H+B squeezes out a little more at the lowest overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

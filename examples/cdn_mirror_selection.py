@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CDN mirror selection: the paper's motivating application.
+
+The introduction motivates anycast with mirrored servers — an
+e-commerce company publishes one anycast address backed by replicas in
+several regions, and the network picks a replica per flow.  This
+example builds a two-continent topology with three mirror sites and
+compares every destination-selection algorithm on admission
+probability and retrial overhead as client demand ramps up.
+
+Run:  python examples/cdn_mirror_selection.py
+"""
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topology import Network
+from repro.sim.simulation import run_simulation
+
+#: 64 kbit/s media flows; links sized in whole "slots".
+SLOT = 64_000.0
+
+
+def build_cdn_network() -> Network:
+    """Two regional rings joined by thin transatlantic links.
+
+    Nodes 0-5 are the "EU" ring, 10-15 the "US" ring.  Mirrors sit at
+    1 (EU), 11 and 14 (US); clients attach across both rings.  The
+    inter-region links (5-10, 0-15) are the scarce resource, so
+    destination selection decides how often traffic must cross them.
+    """
+    net = Network("cdn")
+    ring = lambda base: [
+        (base + i, base + (i + 1) % 6) for i in range(6)
+    ]
+    for u, v in ring(0) + ring(10):
+        net.add_link(u, v, capacity_bps=60 * SLOT)
+    # Thin transatlantic cables.
+    net.add_link(5, 10, capacity_bps=20 * SLOT)
+    net.add_link(0, 15, capacity_bps=20 * SLOT)
+    return net
+
+
+MIRRORS = (1, 11, 14)
+CLIENTS = (2, 3, 4, 12, 13, 15)
+
+
+def main() -> None:
+    group = AnycastGroup("cdn-mirrors", MIRRORS)
+    print("CDN mirror selection -- three mirrors, two regions")
+    print("=" * 60)
+
+    for demand in (1.0, 2.5, 5.0):
+        workload = WorkloadSpec(
+            arrival_rate=demand,
+            sources=CLIENTS,
+            group=group,
+            mean_lifetime_s=120.0,
+            bandwidth_bps=SLOT,
+        )
+        rows = []
+        for algorithm in ("SP", "ED", "WD/D", "WD/D+H", "WD/D+B", "GDI"):
+            result = run_simulation(
+                network_factory=build_cdn_network,
+                system_spec=SystemSpec(algorithm, retrials=2),
+                workload=workload,
+                warmup_s=300.0,
+                measure_s=1200.0,
+                seed=11,
+            )
+            rows.append(
+                [
+                    algorithm,
+                    f"{result.admission_probability:.4f}",
+                    f"{result.mean_retrials:.3f}",
+                ]
+            )
+        print()
+        print(
+            format_table(
+                ["algorithm", "admission probability", "avg retrials"],
+                rows,
+                title=f"client demand = {demand:g} flows/s",
+            )
+        )
+
+    print()
+    print(
+        "Reading the table: SP funnels every client to its nearest\n"
+        "mirror and congests the local ring; the weighted algorithms\n"
+        "spread flows across regions and approach the idealized GDI."
+    )
+
+
+if __name__ == "__main__":
+    main()

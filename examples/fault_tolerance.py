@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Anycast admission control under link failures.
+
+The paper assumes a fault-free network but notes its approach "can be
+extended to deal with the situation when this assumption does not
+hold" (Section 3).  This example exercises that extension: fiber cuts
+strike the MCI backbone at random, flows crossing a failing cable are
+torn down, and the DAC retrial mechanism routes around the damage by
+trying other anycast group members.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.core.system import SystemSpec
+from repro.experiments.report import format_table
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topologies import MCI_GROUP_MEMBERS, MCI_SOURCES, mci_backbone
+from repro.sim.simulation import AnycastSimulation, FaultConfig
+
+
+def run(retrials: int, fault_config, seed: int = 21):
+    workload = WorkloadSpec(
+        arrival_rate=25.0,
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+        mean_lifetime_s=60.0,
+    )
+    simulation = AnycastSimulation(
+        network_factory=mci_backbone,
+        system_spec=SystemSpec("WD/D+H", retrials=retrials),
+        workload=workload,
+        warmup_s=300.0,
+        measure_s=1500.0,
+        seed=seed,
+        fault_config=fault_config,
+    )
+    result = simulation.run()
+    return result, simulation
+
+
+def main() -> None:
+    print("Fiber cuts on the MCI backbone — <WD/D+H,R> under faults")
+    print("=" * 62)
+    print("(each cable: mean 10 min between failures, mean 1 min repair)")
+    print()
+
+    faults = FaultConfig(
+        mean_time_to_failure_s=600.0, mean_time_to_repair_s=60.0
+    )
+    rows = []
+    for label, retrials, config in (
+        ("healthy network, R=2", 2, None),
+        ("faulty network,  R=1", 1, faults),
+        ("faulty network,  R=2", 2, faults),
+        ("faulty network,  R=5", 5, faults),
+    ):
+        result, simulation = run(retrials, config)
+        rows.append(
+            [
+                label,
+                f"{result.admission_probability:.4f}",
+                f"{result.mean_retrials:.3f}",
+                str(simulation.flows_dropped_by_faults),
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "admission probability", "avg retrials", "flows cut"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Failures cost admission probability twice: directly (flows cut\n"
+        "mid-life) and indirectly (routes through down cables refuse new\n"
+        "flows).  Raising the retrial limit R recovers much of the second\n"
+        "effect — the anycast group itself acts as the failover mechanism."
+    )
+
+
+if __name__ == "__main__":
+    main()

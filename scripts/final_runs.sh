@@ -1,0 +1,5 @@
+#!/bin/bash
+cd /root/repo
+python -m pytest tests/ 2>&1 | tee /root/repo/test_output.txt
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt
+echo "ALL_FINAL_RUNS_DONE" > /root/repo/.final_runs_done

@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .`` via the
+pyproject build backend) cannot build editable wheels.  This shim lets
+pip fall back to the legacy ``setup.py develop`` path:
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All metadata lives in ``pyproject.toml``; setuptools >= 61 reads it
+from there automatically.
+"""
+
+from setuptools import setup
+
+setup()

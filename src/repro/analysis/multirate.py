@@ -1,0 +1,147 @@
+"""Multirate link blocking: the Kaufman-Roberts recursion.
+
+The paper's experiments use a single flow class (64 kbit/s), so plain
+Erlang-B suffices.  Real anycast deployments mix classes — the paper's
+Section 6 delay-to-bandwidth mapping even *produces* heterogeneous
+rates (tighter delay bounds demand more bandwidth).  For a link shared
+by independent Poisson classes, each holding an integer number of
+capacity slots, the stationary occupancy distribution satisfies the
+Kaufman-Roberts recursion:
+
+    n * q(n) = sum_k  a_k * b_k * q(n - b_k)
+
+where class ``k`` offers ``a_k`` erlangs of ``b_k``-slot flows.  The
+per-class blocking probability is the probability that fewer than
+``b_k`` slots are free.
+
+This extends the analysis pathway of Appendix A to multi-class
+workloads; :class:`MultirateLink` plugs into the same reduced-load
+style of reasoning (per-class thinning) used for the single-rate case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One flow class offered to a link.
+
+    Attributes
+    ----------
+    load_erlangs:
+        Offered intensity ``a_k = lambda_k / mu_k``.
+    slots:
+        Capacity units each flow of this class holds (``b_k`` >= 1).
+    name:
+        Optional label for reporting.
+    """
+
+    load_erlangs: float
+    slots: int
+    name: str = ""
+
+    def __post_init__(self):
+        if self.load_erlangs < 0:
+            raise ValueError(
+                f"class load must be non-negative, got {self.load_erlangs}"
+            )
+        if self.slots < 1:
+            raise ValueError(f"class slots must be >= 1, got {self.slots}")
+
+
+def occupancy_distribution(
+    capacity: int, classes: Sequence[TrafficClass]
+) -> list[float]:
+    """Stationary distribution of occupied slots (Kaufman-Roberts).
+
+    Returns ``q[0..capacity]`` with ``sum(q) == 1``.
+
+    Parameters
+    ----------
+    capacity:
+        Total slots on the link (>= 0).
+    classes:
+        The offered traffic classes.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    unnormalized = [0.0] * (capacity + 1)
+    unnormalized[0] = 1.0
+    for n in range(1, capacity + 1):
+        total = 0.0
+        for cls in classes:
+            if cls.slots <= n:
+                total += cls.load_erlangs * cls.slots * unnormalized[n - cls.slots]
+        unnormalized[n] = total / n
+    norm = math.fsum(unnormalized)
+    return [value / norm for value in unnormalized]
+
+
+def class_blocking(
+    capacity: int, classes: Sequence[TrafficClass]
+) -> list[float]:
+    """Per-class blocking probabilities on a shared link.
+
+    Class ``k`` is blocked exactly when fewer than ``b_k`` slots are
+    free, i.e. with probability ``sum of q(n) for n > capacity - b_k``.
+    Returned in the order of ``classes``.
+    """
+    distribution = occupancy_distribution(capacity, classes)
+    blocking = []
+    for cls in classes:
+        threshold = capacity - cls.slots
+        blocked = math.fsum(
+            distribution[n] for n in range(threshold + 1, capacity + 1)
+        )
+        blocking.append(min(1.0, max(0.0, blocked)))
+    return blocking
+
+
+def single_class_check(capacity: int, load_erlangs: float) -> float:
+    """Kaufman-Roberts specialized to one single-slot class.
+
+    Must equal Erlang-B; exposed for validation and docs.
+    """
+    return class_blocking(capacity, [TrafficClass(load_erlangs, 1)])[0]
+
+
+@dataclass(frozen=True)
+class MultirateLinkReport:
+    """Blocking summary of one multirate link.
+
+    Attributes
+    ----------
+    capacity:
+        Slot count.
+    classes:
+        The offered classes.
+    blocking:
+        Per-class blocking probability, aligned with ``classes``.
+    utilization:
+        Expected fraction of slots occupied.
+    """
+
+    capacity: int
+    classes: tuple
+    blocking: tuple
+    utilization: float
+
+
+def analyze_link(
+    capacity: int, classes: Sequence[TrafficClass]
+) -> MultirateLinkReport:
+    """Full blocking/utilization report for one link."""
+    distribution = occupancy_distribution(capacity, classes)
+    blocking = class_blocking(capacity, classes)
+    mean_occupied = math.fsum(n * q for n, q in enumerate(distribution))
+    utilization = mean_occupied / capacity if capacity else 0.0
+    return MultirateLinkReport(
+        capacity=capacity,
+        classes=tuple(classes),
+        blocking=tuple(blocking),
+        utilization=utilization,
+    )

@@ -1,0 +1,204 @@
+"""Multirate reduced-load fixed point.
+
+Combines the two analysis layers of this package: the reduced-load
+thinning of Appendix A.2 (link blocking coupled across a network) and
+the Kaufman-Roberts recursion of :mod:`repro.analysis.multirate`
+(per-class blocking on a shared link).  The result analyzes anycast
+admission for *heterogeneous* bandwidth classes — e.g. the mixed rates
+produced by the paper's Section 6 delay-to-bandwidth mapping — which
+the single-rate model cannot express.
+
+Model
+-----
+Each offered route now carries a *class* ``k`` with slot demand
+``b_k``.  Under link independence, class ``k``'s thinned load on link
+``l`` sums route loads thinned by the *class-specific* blocking of the
+other links (eq. 18 generalized):
+
+    v_{l,k} = sum_{routes r of class k containing l}
+                rho_r * prod_{m in r, m != l} (1 - B_{m,k})
+
+and the per-class link blocking comes from Kaufman-Roberts:
+
+    (B_{l,1}, ..., B_{l,K}) = KR(C_l, {(v_{l,k}, b_k)})
+
+iterated (with damping) to a fixed point.  For one single-slot class
+this degenerates exactly to :class:`repro.analysis.fixedpoint.
+ReducedLoadSolver` with Erlang-B, which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+from repro.analysis.multirate import TrafficClass, class_blocking
+
+LinkKey = Hashable
+
+
+@dataclass(frozen=True)
+class ClassedRouteLoad:
+    """One route of one traffic class with its offered intensity.
+
+    Attributes
+    ----------
+    links:
+        Directed link keys the route traverses.
+    load_erlangs:
+        Offered intensity of this (route, class) pair.
+    slots:
+        Capacity slots each flow of the class holds.
+    class_name:
+        Label for per-class reporting.
+    """
+
+    links: tuple
+    load_erlangs: float
+    slots: int
+    class_name: str = ""
+
+    def __post_init__(self):
+        if self.load_erlangs < 0:
+            raise ValueError(
+                f"route load must be non-negative, got {self.load_erlangs}"
+            )
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots}")
+        if len(set(self.links)) != len(self.links):
+            raise ValueError(f"route visits a link twice: {self.links}")
+
+
+@dataclass(frozen=True)
+class MultirateFixedPointSolution:
+    """Converged per-link, per-class blocking.
+
+    Attributes
+    ----------
+    link_class_blocking:
+        ``{link: {class_name: B}}``.
+    iterations:
+        Fixed-point iterations executed.
+    converged:
+        Whether the max-norm change met the tolerance.
+    """
+
+    link_class_blocking: dict
+    iterations: int
+    converged: bool
+
+    def route_rejection(self, links: Sequence[LinkKey], class_name: str) -> float:
+        """Rejection probability of a route for one class (eq. 17)."""
+        passing = 1.0
+        for link in links:
+            passing *= 1.0 - self.link_class_blocking[link][class_name]
+        return 1.0 - passing
+
+
+class MultirateReducedLoadSolver:
+    """Fixed point over per-class link blocking probabilities.
+
+    Parameters
+    ----------
+    capacities:
+        Slot capacity per link key.
+    routes:
+        Offered (route, class) loads.  Class identity is the
+        ``(class_name, slots)`` pair; using one name with two slot
+        demands is rejected.
+    damping, tolerance, max_iterations:
+        As in the single-rate solver.
+    """
+
+    def __init__(
+        self,
+        capacities: Mapping[LinkKey, int],
+        routes: Sequence[ClassedRouteLoad],
+        damping: float = 0.5,
+        tolerance: float = 1e-9,
+        max_iterations: int = 10_000,
+    ):
+        if not 0 < damping <= 1:
+            raise ValueError(f"damping must be in (0, 1], got {damping}")
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        slots_by_class: dict[str, int] = {}
+        for route in routes:
+            for link in route.links:
+                if link not in capacities:
+                    raise KeyError(f"route references unknown link {link!r}")
+            known = slots_by_class.get(route.class_name)
+            if known is not None and known != route.slots:
+                raise ValueError(
+                    f"class {route.class_name!r} used with slot demands "
+                    f"{known} and {route.slots}"
+                )
+            slots_by_class[route.class_name] = route.slots
+        self.capacities = dict(capacities)
+        self.routes = list(routes)
+        self.class_names = sorted(slots_by_class)
+        self.slots_by_class = slots_by_class
+        self.damping = damping
+        self.tolerance = tolerance
+        self.max_iterations = max_iterations
+        self._routes_by_link: dict[LinkKey, list[ClassedRouteLoad]] = {
+            link: [] for link in self.capacities
+        }
+        for route in self.routes:
+            for link in route.links:
+                self._routes_by_link[link].append(route)
+
+    def _thinned_loads(self, blocking: dict) -> dict:
+        """Per-link, per-class thinned loads under current blocking."""
+        loads: dict[LinkKey, dict[str, float]] = {}
+        for link, routes in self._routes_by_link.items():
+            per_class = {name: 0.0 for name in self.class_names}
+            for route in routes:
+                thinned = route.load_erlangs
+                for other in route.links:
+                    if other != link:
+                        thinned *= 1.0 - blocking[other][route.class_name]
+                per_class[route.class_name] += thinned
+            loads[link] = per_class
+        return loads
+
+    def solve(self) -> MultirateFixedPointSolution:
+        """Iterate to the per-class fixed point."""
+        blocking = {
+            link: {name: 0.0 for name in self.class_names}
+            for link in self.capacities
+        }
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            loads = self._thinned_loads(blocking)
+            new_blocking: dict = {}
+            delta = 0.0
+            for link, capacity in self.capacities.items():
+                classes = [
+                    TrafficClass(
+                        load_erlangs=loads[link][name],
+                        slots=self.slots_by_class[name],
+                        name=name,
+                    )
+                    for name in self.class_names
+                ]
+                raw = class_blocking(capacity, classes)
+                per_class = {}
+                for name, value in zip(self.class_names, raw):
+                    mixed = (
+                        self.damping * value
+                        + (1.0 - self.damping) * blocking[link][name]
+                    )
+                    per_class[name] = mixed
+                    delta = max(delta, abs(mixed - blocking[link][name]))
+                new_blocking[link] = per_class
+            blocking = new_blocking
+            if delta < self.tolerance:
+                converged = True
+                break
+        return MultirateFixedPointSolution(
+            link_class_blocking=blocking,
+            iterations=iterations,
+            converged=converged,
+        )

@@ -1,0 +1,140 @@
+"""Capacity planning on top of the admission-probability analysis.
+
+Once admission probability can be computed analytically (Appendix A),
+two operational questions become cheap to answer without simulation:
+
+* :func:`max_arrival_rate` -- the largest request rate a deployment
+  sustains while keeping AP at or above a target (an *admission-region*
+  boundary point);
+* :func:`required_capacity` -- the smallest per-link anycast capacity
+  (in flow slots) that meets a target AP at a given demand.
+
+Both are monotone in their search variable, so bisection on the
+fixed-point analysis solves them to any precision.  These are the
+planning tools an operator of the paper's system would actually need
+when sizing the "20 % of link bandwidth reserved for anycast flows".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.analysis.admission import analyze_system
+from repro.core.system import SystemSpec
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topology import Network
+
+
+def _ap_at_rate(
+    network: Network, workload: WorkloadSpec, spec: SystemSpec, rate: float
+) -> float:
+    scaled = replace(workload, arrival_rate=rate)
+    return analyze_system(network, scaled, spec).admission_probability
+
+
+def max_arrival_rate(
+    network: Network,
+    workload: WorkloadSpec,
+    spec: SystemSpec,
+    target_ap: float,
+    rate_upper_bound: float = 10_000.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest arrival rate keeping analytical AP >= ``target_ap``.
+
+    Parameters
+    ----------
+    network:
+        The (unloaded) network.
+    workload:
+        Template workload; its ``arrival_rate`` is the search variable.
+    spec:
+        System under test (must be analyzable: ED, WD/D or SP).
+    target_ap:
+        Required admission probability in (0, 1].
+    rate_upper_bound:
+        Upper end of the bisection bracket.
+    tolerance:
+        Absolute rate tolerance of the answer.
+
+    Returns
+    -------
+    float
+        The boundary rate; 0.0 if even vanishing load misses the target
+        (impossible for targets <= 1), ``rate_upper_bound`` if the
+        target holds across the whole bracket.
+    """
+    if not 0.0 < target_ap <= 1.0:
+        raise ValueError(f"target AP must be in (0, 1], got {target_ap}")
+    if rate_upper_bound <= 0:
+        raise ValueError(f"rate bound must be positive, got {rate_upper_bound}")
+    low = 0.0
+    high = rate_upper_bound
+    if _ap_at_rate(network, workload, spec, high) >= target_ap:
+        return high
+    # AP(0+) == 1 >= target, AP(high) < target: bisect the crossing.
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if mid == 0.0:
+            break
+        if _ap_at_rate(network, workload, spec, mid) >= target_ap:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def required_capacity(
+    network_builder: Callable[[float], Network],
+    workload: WorkloadSpec,
+    spec: SystemSpec,
+    target_ap: float,
+    max_slots: int = 100_000,
+) -> int:
+    """Smallest per-link capacity (in flow slots) meeting ``target_ap``.
+
+    Parameters
+    ----------
+    network_builder:
+        Callable mapping a per-link capacity in bits/s to a fresh
+        network (e.g. ``lambda c: mci_backbone(capacity_bps=c)``).
+    workload:
+        The fixed demand.
+    spec:
+        System under test (analyzable algorithms only).
+    target_ap:
+        Required admission probability in (0, 1].
+    max_slots:
+        Search ceiling; a ValueError is raised if even this capacity
+        misses the target.
+
+    Returns
+    -------
+    int
+        Minimum number of ``workload.bandwidth_bps`` slots per link.
+    """
+    if not 0.0 < target_ap <= 1.0:
+        raise ValueError(f"target AP must be in (0, 1], got {target_ap}")
+    if max_slots < 1:
+        raise ValueError(f"max slots must be >= 1, got {max_slots}")
+
+    def ap_with_slots(slots: int) -> float:
+        network = network_builder(slots * workload.bandwidth_bps)
+        return analyze_system(network, workload, spec).admission_probability
+
+    if ap_with_slots(max_slots) < target_ap:
+        raise ValueError(
+            f"target AP {target_ap} unreachable even with {max_slots} slots"
+        )
+    low, high = 0, max_slots  # AP(low) < target <= AP(high)
+    if ap_with_slots(1) >= target_ap:
+        return 1
+    low = 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if ap_with_slots(mid) >= target_ap:
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,14 @@
+"""Baseline systems of the paper's evaluation (Section 5.1).
+
+* ``SP`` -- always the nearest member over its fixed route; the
+  selector lives in :mod:`repro.core.selection`
+  (:class:`repro.core.selection.ShortestPathSelector`) because it runs
+  inside an ordinary AC-router.
+* ``GDI`` -- :class:`repro.baselines.gdi.GDIController`: perfect
+  global dynamic information and freedom to use *any* path, the
+  idealized upper bound.
+"""
+
+from repro.baselines.gdi import GDIController
+
+__all__ = ["GDIController"]

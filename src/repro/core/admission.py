@@ -1,0 +1,215 @@
+"""The AC-router: the DAC procedure of Figure 1.
+
+Each source router that receives anycast flow requests is an
+Admission-Control router.  For every request it loops:
+
+1. select a destination in the anycast group (weight-driven draw);
+2. try to reserve bandwidth along the fixed route to it;
+3. admitted if the reservation succeeds; otherwise consult the
+   retrial policy and possibly go around again.
+
+The router owns its selector (and therefore its local admission
+history) — state is strictly local, which is the point of the
+*distributed* admission control mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.core.reservation import AtomicReservationEngine
+from repro.core.retrial import RetrialPolicy
+from repro.core.selection import DestinationSelector, SelectionContext
+from repro.flows.flow import AdmittedFlow, FlowRequest
+from repro.flows.group import AnycastGroup
+from repro.network.routing import RouteTable
+from repro.network.topology import Network
+from repro.sim.random_streams import RandomStream
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of one DAC run for one request.
+
+    Attributes
+    ----------
+    request:
+        The request that was processed.
+    flow:
+        The admitted flow (``None`` if rejected).
+    attempts:
+        Number of destinations tried (the final value of the paper's
+        retrial counter ``c``); >= 1 always.
+    tried:
+        Destinations tried, in order.
+    decided_at:
+        Simulation time of the decision (equals the request's arrival
+        time under atomic reservations).
+    """
+
+    request: FlowRequest
+    flow: Optional[AdmittedFlow]
+    attempts: int
+    tried: tuple
+    decided_at: float = 0.0
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the flow was established."""
+        return self.flow is not None
+
+    @property
+    def retrials(self) -> int:
+        """Attempts beyond the first, i.e. ``c - 1``."""
+        return self.attempts - 1
+
+
+class ACRouter:
+    """An admission-control router running the Figure 1 loop.
+
+    Parameters
+    ----------
+    network:
+        Live network state shared with every other controller.
+    source:
+        The node this router fronts; only requests originating here may
+        be submitted to it.
+    group:
+        The anycast group served.
+    selector:
+        Destination-selection algorithm (owns any local state such as
+        the admission history).
+    retrial_policy:
+        When to keep trying after failures.
+    rng:
+        The router's private random stream for the weighted draws.
+    reservation:
+        Reservation engine; defaults to a private
+        :class:`AtomicReservationEngine` on ``network``.
+    resample_failed:
+        If ``True`` (ablation), a destination that already failed for
+        this request may be drawn again on retrial; the default
+        excludes failed destinations, matching the paper's cap of
+        ``R`` at the group size.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        source: NodeId,
+        group: AnycastGroup,
+        selector: DestinationSelector,
+        retrial_policy: RetrialPolicy,
+        rng: RandomStream,
+        reservation: Optional[AtomicReservationEngine] = None,
+        resample_failed: bool = False,
+    ):
+        self.network = network
+        self.source = source
+        self.group = group
+        self.selector = selector
+        self.retrial_policy = retrial_policy
+        self.rng = rng
+        self.reservation = reservation or AtomicReservationEngine(network)
+        self.resample_failed = resample_failed
+        self.routes = RouteTable(network, source, group.members)
+        # Lifetime counters for reporting.
+        self.requests_seen = 0
+        self.requests_admitted = 0
+        self.total_attempts = 0
+
+    def admit(self, request: FlowRequest, now: Optional[float] = None) -> AdmissionResult:
+        """Run the DAC procedure for ``request``.
+
+        Returns an :class:`AdmissionResult`; on admission the flow's
+        bandwidth is held on every link of its route until
+        :meth:`release` is called.
+        """
+        if request.source != self.source:
+            raise ValueError(
+                f"request source {request.source!r} does not match "
+                f"router source {self.source!r}"
+            )
+        if request.group != self.group:
+            raise ValueError(
+                f"request group {request.group.address!r} does not match "
+                f"router group {self.group.address!r}"
+            )
+        decided_at = request.arrival_time if now is None else now
+        self.requests_seen += 1
+        tried: list[NodeId] = []
+        excluded: set[NodeId] = set()
+        attempts = 0
+        while True:
+            exclude = frozenset(excluded)
+            destination = self.selector.select(self.rng, exclude=exclude)
+            attempts += 1
+            tried.append(destination)
+            route = self.routes.route_to(destination)
+            success = self.reservation.try_reserve(
+                route, request.flow_id, request.bandwidth_bps
+            )
+            self.selector.observe(destination, success)
+            if success:
+                self.requests_admitted += 1
+                self.total_attempts += attempts
+                flow = AdmittedFlow(
+                    request=request,
+                    destination=destination,
+                    path=route.path,
+                    admitted_at=decided_at,
+                    attempts=attempts,
+                )
+                return AdmissionResult(
+                    request=request,
+                    flow=flow,
+                    attempts=attempts,
+                    tried=tuple(tried),
+                    decided_at=decided_at,
+                )
+            if not self.resample_failed:
+                excluded.add(destination)
+            keep_going = self.retrial_policy.should_retry(
+                attempts_made=attempts,
+                distinct_tried=len(excluded) if not self.resample_failed else len(set(tried)),
+                group_size=self.group.size,
+            )
+            if not keep_going:
+                self.total_attempts += attempts
+                return AdmissionResult(
+                    request=request,
+                    flow=None,
+                    attempts=attempts,
+                    tried=tuple(tried),
+                    decided_at=decided_at,
+                )
+
+    def release(self, flow: AdmittedFlow) -> None:
+        """Tear down an admitted flow's reservations (idempotent)."""
+        if flow.released:
+            return
+        self.reservation.release(flow.path, flow.flow_id)
+        flow.released = True
+
+    @property
+    def admission_ratio(self) -> float:
+        """Fraction of seen requests admitted (0 when none seen)."""
+        if self.requests_seen == 0:
+            return 0.0
+        return self.requests_admitted / self.requests_seen
+
+    @property
+    def mean_attempts(self) -> float:
+        """Average destinations tried per request (0 when none seen)."""
+        if self.requests_seen == 0:
+            return 0.0
+        return self.total_attempts / self.requests_seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ACRouter(source={self.source!r}, selector={self.selector.name}, "
+            f"seen={self.requests_seen})"
+        )

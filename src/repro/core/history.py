@@ -1,0 +1,75 @@
+"""Local admission history (paper eqs. 5-7).
+
+Each AC-router keeps, per anycast group, a list ``H = <h_1 ... h_K>``
+where ``h_i`` counts the *consecutive* reservation failures in the
+most recent attempts at destination ``i``:
+
+* initialization: ``h_i = 0`` (eq. 6);
+* when destination ``i`` is tried: ``h_i = 0`` on success,
+  ``h_i + 1`` on failure (eq. 7).
+
+The WD/D+H selection algorithm decays a destination's weight by
+``alpha ** h_i``, so a destination that keeps failing is selected ever
+more rarely until it succeeds once, which resets it.
+
+This information is free to collect — it is a by-product of the
+AC-router's own admission attempts — which is exactly why the paper
+favours WD/D+H for deployability.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.flows.group import AnycastGroup
+
+NodeId = Hashable
+
+
+class AdmissionHistory:
+    """The per-group consecutive-failure counters of one AC-router."""
+
+    def __init__(self, group: AnycastGroup):
+        self.group = group
+        self._counters = [0] * group.size
+        #: total successes recorded (all destinations)
+        self.total_successes = 0
+        #: total failures recorded (all destinations)
+        self.total_failures = 0
+
+    def record_success(self, member: NodeId) -> None:
+        """Destination ``member`` admitted a flow: reset its counter."""
+        self._counters[self.group.index_of(member)] = 0
+        self.total_successes += 1
+
+    def record_failure(self, member: NodeId) -> None:
+        """Reservation toward ``member`` failed: bump its counter."""
+        self._counters[self.group.index_of(member)] += 1
+        self.total_failures += 1
+
+    def failures_of(self, member: NodeId) -> int:
+        """Current ``h_i`` for the given member."""
+        return self._counters[self.group.index_of(member)]
+
+    def counters(self) -> tuple:
+        """The list ``H`` as a tuple in group-member order."""
+        return tuple(self._counters)
+
+    def reset(self) -> None:
+        """Reset all counters to the initialization state (eq. 6)."""
+        self._counters = [0] * self.group.size
+
+    @property
+    def clean_member_count(self) -> int:
+        """``M``: number of members with ``h_i == 0`` (used by eq. 9)."""
+        return sum(1 for counter in self._counters if counter == 0)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            f"{member}:{count}"
+            for member, count in zip(self.group.members, self._counters)
+        )
+        return f"AdmissionHistory({pairs})"

@@ -1,0 +1,71 @@
+"""Resource reservation (paper Section 4.4).
+
+Once a destination is selected, the DAC procedure must (task 1) check
+that every link of the fixed route has enough available bandwidth and
+(task 2) reserve that bandwidth — the check-and-reserve the paper
+delegates to RSVP PATH/RESV messages.
+
+:class:`AtomicReservationEngine` performs both tasks in one critical
+step against the live network state, which is the semantics the
+paper's simulation model assumes (reservations are instantaneous and
+race-free).  The message-driven variant with propagation delays lives
+in :mod:`repro.signaling.rsvp`; admission *probabilities* are
+identical, only latency/overhead bookkeeping differs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.network.routing import Route
+from repro.network.topology import Network
+
+FlowId = Hashable
+
+
+class AtomicReservationEngine:
+    """All-or-nothing bandwidth reservation on fixed routes.
+
+    Counts attempts and failures so the experiment harness can report
+    signalling overhead (each attempt corresponds to one PATH/RESV
+    round trip in a deployed system).
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        #: reservation attempts made (one per destination tried)
+        self.attempts = 0
+        #: attempts refused for lack of bandwidth on some link
+        self.failures = 0
+
+    def try_reserve(self, route: Route, flow_id: FlowId, bandwidth_bps: float) -> bool:
+        """Attempt to reserve ``bandwidth_bps`` along ``route``.
+
+        Returns ``True`` and holds the bandwidth on every link on
+        success; returns ``False`` and leaves the network untouched on
+        failure.
+        """
+        self.attempts += 1
+        if bandwidth_bps < 0:
+            raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        success = self.network.reserve_path(route.path, flow_id, bandwidth_bps)
+        if not success:
+            self.failures += 1
+        return success
+
+    def release(self, path: Sequence, flow_id: FlowId) -> None:
+        """Tear down a flow's reservation along ``path``."""
+        self.network.release_path(path, flow_id)
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of reservation attempts refused (0 when untried)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AtomicReservationEngine(attempts={self.attempts}, "
+            f"failures={self.failures})"
+        )

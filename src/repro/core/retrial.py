@@ -1,0 +1,88 @@
+"""Retrial control (paper Section 4.5).
+
+After a failed reservation the DAC procedure must decide whether to
+try an alternative destination.  More retrials raise the admission
+probability but cost extra signalling round trips, so the paper uses a
+simple counter scheme: a counter ``c`` incremented on every attempt,
+with retrial allowed while ``c < R``.  ``R`` is therefore the maximum
+number of destinations tried per request; ``R = 1`` means a single
+shot with no retry.
+
+The policy is pluggable so ablations can explore alternatives; the
+paper's scheme is :class:`CounterRetrialPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class RetrialPolicy(Protocol):
+    """Decides whether the DAC loop keeps going after a failure."""
+
+    def should_retry(self, attempts_made: int, distinct_tried: int, group_size: int) -> bool:
+        """Return ``True`` to try another destination.
+
+        Parameters
+        ----------
+        attempts_made:
+            Value of the paper's counter ``c``: destinations tried so
+            far for this request (>= 1 when consulted).
+        distinct_tried:
+            Number of *distinct* destinations tried; when selection
+            excludes failed destinations this equals ``attempts_made``.
+        group_size:
+            ``K``; no policy can usefully exceed it when failed
+            destinations are excluded.
+        """
+        ...
+
+
+class CounterRetrialPolicy:
+    """The paper's counter scheme: retry while ``c < R``.
+
+    Parameters
+    ----------
+    max_attempts:
+        ``R``, the total number of destinations that may be tried.
+    """
+
+    def __init__(self, max_attempts: int):
+        if max_attempts < 1:
+            raise ValueError(f"R must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    def should_retry(self, attempts_made: int, distinct_tried: int, group_size: int) -> bool:
+        """Retry while the counter is below ``R`` and members remain."""
+        if distinct_tried >= group_size:
+            return False
+        return attempts_made < self.max_attempts
+
+    def __repr__(self) -> str:
+        return f"CounterRetrialPolicy(R={self.max_attempts})"
+
+
+class AlwaysRetryPolicy:
+    """Ablation: exhaust every distinct destination (R = K).
+
+    Equivalent to ``CounterRetrialPolicy(group_size)`` for any request;
+    provided for readability in ablation configs.
+    """
+
+    def should_retry(self, attempts_made: int, distinct_tried: int, group_size: int) -> bool:
+        """Retry until every member has been tried."""
+        return distinct_tried < group_size
+
+    def __repr__(self) -> str:
+        return "AlwaysRetryPolicy()"
+
+
+class NeverRetryPolicy:
+    """Ablation: single-shot admission, identical to ``R = 1``."""
+
+    def should_retry(self, attempts_made: int, distinct_tried: int, group_size: int) -> bool:
+        """Never retry."""
+        return False
+
+    def __repr__(self) -> str:
+        return "NeverRetryPolicy()"

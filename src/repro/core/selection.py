@@ -1,0 +1,443 @@
+"""Destination selection algorithms (paper Section 4.3).
+
+An AC-router keeps a weight ``W_i`` per member of the anycast group;
+the weight is the probability that member ``i`` is picked as the
+destination of the next flow (eq. 1: weights sum to one).  The paper
+proposes one unbiased and two biased weight-assignment algorithms:
+
+* :class:`EvenDistribution` (ED) -- ``W_i = 1/K`` (eq. 2), no status
+  information at all.
+* :class:`DistanceHistoryWeighted` (WD/D+H) -- seeds weights inversely
+  proportional to route distance (eq. 4) and then, before every
+  selection, decays the weights of destinations with recent
+  consecutive failures by ``alpha ** h_i`` and redistributes the
+  removed mass to the failure-free destinations (eqs. 8-10).
+* :class:`DistanceBandwidthWeighted` (WD/D+B) -- ``W_i`` proportional
+  to ``B_i / D_i`` where ``B_i`` is the route's bottleneck available
+  bandwidth (eqs. 11-12); requires signalling support to learn ``B_i``.
+
+Two further selectors support the evaluation:
+
+* :class:`DistanceWeighted` (WD/D) -- the pure eq. 4 weights, an
+  ablation isolating the distance term of WD/D+H.
+* :class:`ShortestPathSelector` (SP baseline) -- deterministically the
+  closest member.
+
+Retrial interplay: within one request, destinations already tried and
+refused are excluded and the remaining weights renormalized (the paper
+caps ``R`` at the group size, implying sampling without replacement).
+The ablation flag on the AC-router can disable exclusion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Optional, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.network.state import BandwidthView
+
+from repro.core.history import AdmissionHistory
+from repro.flows.group import AnycastGroup
+from repro.network.routing import RouteTable
+from repro.network.topology import Network
+from repro.sim.random_streams import RandomStream
+
+NodeId = Hashable
+
+#: Minimum fraction of its seed weight a failure-free member retains in
+#: WD/D+H, guarding against weights stranded at exactly zero (see the
+#: class docstring).  Small enough to be invisible in the experiments.
+_WEIGHT_FLOOR = 1e-6
+
+#: Default history-decay parameter alpha of WD/D+H.  The paper's
+#: evaluation does not publish its value; 0.5 halves a destination's
+#: weight per consecutive failure, a middle ground between the two
+#: extremes the paper discusses (alpha=0: maximal history impact,
+#: alpha=1: none).
+DEFAULT_ALPHA = 0.5
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """Everything a selector may consult when assigning weights.
+
+    Attributes
+    ----------
+    network:
+        Live network (WD/D+B reads available bandwidths from it,
+        standing in for the extended-RSVP feedback the paper assumes).
+    routes:
+        The AC-router's fixed routes to every group member.
+    group:
+        The anycast group (defines the member order of weight vectors).
+    """
+
+    network: Network
+    routes: RouteTable
+    group: AnycastGroup
+
+    def __post_init__(self):
+        if tuple(self.routes.members) != tuple(self.group.members):
+            raise ValueError(
+                "route table and group disagree on members: "
+                f"{self.routes.members} vs {self.group.members}"
+            )
+
+
+def distance_weights(distances: Sequence[float]) -> list[float]:
+    """Normalized inverse-distance weights (eq. 4).
+
+    ``W_i = (1/D_i) / sum_j (1/D_j)``.  Zero-distance routes (source
+    is itself a member) consume no link resources at all, so they are
+    given all the weight: the engineering extension of the paper's
+    formula documented in DESIGN.md.
+    """
+    if not distances:
+        raise ValueError("need at least one distance")
+    if any(distance < 0 for distance in distances):
+        raise ValueError(f"distances must be non-negative: {distances}")
+    # Subnormal distances overflow 1/d to inf; treat them as zero-hop.
+    inverses = [
+        (1.0 / distance if distance > 0 else math.inf) for distance in distances
+    ]
+    zero_indices = [i for i, inverse in enumerate(inverses) if math.isinf(inverse)]
+    total = sum(inverses)
+    if not zero_indices and math.isinf(total):
+        # Finite inverses whose *sum* overflows: the distances are so
+        # extreme that only the nearest members matter anyway.
+        nearest = min(distances)
+        zero_indices = [i for i, d in enumerate(distances) if d == nearest]
+    if zero_indices:
+        share = 1.0 / len(zero_indices)
+        return [share if i in zero_indices else 0.0 for i in range(len(distances))]
+    return [inverse / total for inverse in inverses]
+
+
+def _renormalize(weights: Sequence[float]) -> list[float]:
+    """Scale weights to sum to one; uniform fallback when all-zero."""
+    total = sum(weights)
+    if total <= 0:
+        return [1.0 / len(weights)] * len(weights)
+    return [weight / total for weight in weights]
+
+
+class DestinationSelector(Protocol):
+    """Interface the AC-router drives.
+
+    ``weights()`` returns the current probability vector in group
+    member order; ``select()`` draws a destination; ``observe()``
+    feeds back the outcome of the subsequent reservation attempt.
+    """
+
+    name: str
+
+    def weights(self) -> list[float]:
+        """Current weight vector ``W_1..W_K`` (sums to one)."""
+        ...
+
+    def select(
+        self, rng: RandomStream, exclude: frozenset = frozenset()
+    ) -> NodeId:
+        """Draw a destination, renormalizing over non-excluded members."""
+        ...
+
+    def observe(self, member: NodeId, success: bool) -> None:
+        """Report the reservation outcome for ``member``."""
+        ...
+
+
+class _WeightedSelectorBase:
+    """Shared machinery: draw a member from a weight vector."""
+
+    name = "base"
+
+    def __init__(self, context: SelectionContext):
+        self.context = context
+        self.group = context.group
+
+    def weights(self) -> list[float]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def observe(self, member: NodeId, success: bool) -> None:
+        """Default: stateless selectors ignore outcomes."""
+
+    def select(
+        self, rng: RandomStream, exclude: frozenset = frozenset()
+    ) -> NodeId:
+        members = self.group.members
+        weights = self.weights()
+        if exclude:
+            candidates = [m for m in members if m not in exclude]
+            if not candidates:
+                raise ValueError("all group members excluded")
+            candidate_weights = [
+                weights[self.group.index_of(m)] for m in candidates
+            ]
+            candidate_weights = _renormalize(candidate_weights)
+            return rng.weighted_choice(candidates, candidate_weights)
+        return rng.weighted_choice(list(members), weights)
+
+
+class EvenDistribution(_WeightedSelectorBase):
+    """ED: every member equally likely, ``W_i = 1/K`` (eq. 2)."""
+
+    name = "ED"
+
+    def weights(self) -> list[float]:
+        size = self.group.size
+        return [1.0 / size] * size
+
+
+class DistanceWeighted(_WeightedSelectorBase):
+    """WD/D: static inverse-distance weights (eq. 4).
+
+    Not one of the paper's three headline algorithms; used as the
+    ablation isolating the distance term of WD/D+H, and as the
+    alpha=1 degenerate case of that algorithm.
+    """
+
+    name = "WD/D"
+
+    def __init__(self, context: SelectionContext):
+        super().__init__(context)
+        self._weights = distance_weights(
+            [float(d) for d in context.routes.distances()]
+        )
+
+    def weights(self) -> list[float]:
+        return list(self._weights)
+
+
+class DistanceHistoryWeighted(_WeightedSelectorBase):
+    """WD/D+H: distance seed + local-admission-history decay (eqs. 4, 8-10).
+
+    The stored weight vector starts at the eq. 4 inverse-distance
+    assignment.  Before every selection the vector is updated:
+
+    1. ``AW = sum_i W_i * (1 - alpha ** h_i)`` (eq. 8) — the weight
+       mass stripped from recently-failing destinations;
+    2. ``W'_i = W_i * alpha**h_i`` for failing members, and
+       ``W_i + AW / M`` for the ``M`` failure-free members (eq. 9);
+    3. renormalize (eq. 10).
+
+    Edge cases the paper leaves implicit, resolved here:
+
+    * ``M == 0`` (every destination currently failing): there is
+      nowhere to redistribute ``AW``; the decayed weights are simply
+      renormalized, preserving the *relative* discrimination.
+    * all updated weights zero (possible when ``alpha == 0`` and
+      ``M == 0``): fall back to the distance seed so selection remains
+      well defined.
+    * a stranded zero weight: with ``alpha == 0`` a single failure
+      zeroes a member's stored weight, and eq. 9's redistribution adds
+      mass back only while *other* members are failing — so a member
+      could stay at exactly zero forever even after its history
+      clears.  We restore a small floor (``_WEIGHT_FLOOR`` times the
+      member's seed weight) to every failure-free member, keeping all
+      destinations eventually reachable.
+
+    Parameters
+    ----------
+    alpha:
+        History-impact parameter in [0, 1]; 0 = maximal impact
+        (a single failure removes the destination until it succeeds),
+        1 = no impact (degenerates to WD/D).
+    """
+
+    name = "WD/D+H"
+
+    def __init__(self, context: SelectionContext, alpha: float = DEFAULT_ALPHA):
+        super().__init__(context)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.history = AdmissionHistory(context.group)
+        self._seed_weights = distance_weights(
+            [float(d) for d in context.routes.distances()]
+        )
+        self._weights = list(self._seed_weights)
+
+    def weights(self) -> list[float]:
+        """Apply the eq. 8-10 update and return the new stored vector."""
+        counters = self.history.counters()
+        current = self._weights
+        decay = [self.alpha**h for h in counters]
+        adjustable = sum(
+            weight * (1.0 - d) for weight, d in zip(current, decay)
+        )
+        clean = [i for i, h in enumerate(counters) if h == 0]
+        updated = []
+        for i, (weight, h) in enumerate(zip(current, counters)):
+            if h != 0:
+                updated.append(weight * decay[i])
+            elif clean:
+                floor = _WEIGHT_FLOOR * self._seed_weights[i]
+                updated.append(max(weight + adjustable / len(clean), floor))
+            else:  # unreachable branch guard: h == 0 implies i in clean
+                updated.append(weight)
+        if sum(updated) <= 0:
+            updated = list(self._seed_weights)
+        self._weights = _renormalize(updated)
+        return list(self._weights)
+
+    def observe(self, member: NodeId, success: bool) -> None:
+        if success:
+            self.history.record_success(member)
+        else:
+            self.history.record_failure(member)
+
+
+class DistanceBandwidthWeighted(_WeightedSelectorBase):
+    """WD/D+B: weights proportional to ``B_i / D_i`` (eqs. 11-12).
+
+    ``B_i`` is the bottleneck available bandwidth of the fixed route to
+    member ``i``, read from the live network state — standing in for
+    the extended-RSVP RESV feedback the paper assumes.  Weights are
+    recomputed from scratch at every selection, so this selector tracks
+    network dynamics exactly (at the compatibility cost the paper
+    highlights).
+
+    When every route's bottleneck is zero the flow is doomed anyway;
+    the selector falls back to inverse-distance weights so the draw
+    stays well defined.
+
+    Parameters
+    ----------
+    view:
+        Where ``B_i`` comes from: the default
+        :class:`repro.network.state.LiveBandwidthView` reproduces the
+        paper's always-fresh assumption; a
+        :class:`repro.network.state.SnapshotBandwidthView` models the
+        periodic link-state refresh a real deployment would have.
+    """
+
+    name = "WD/D+B"
+
+    def __init__(
+        self,
+        context: SelectionContext,
+        view: Optional["BandwidthView"] = None,
+    ):
+        super().__init__(context)
+        self._distances = [float(d) for d in context.routes.distances()]
+        if view is None:
+            from repro.network.state import LiveBandwidthView
+
+            view = LiveBandwidthView(context.network)
+        self.view = view
+
+    def weights(self) -> list[float]:
+        routes = self.context.routes.routes()
+        scores = []
+        for route, distance in zip(routes, self._distances):
+            bandwidth = self.view.path_available_bps(route.path)
+            if distance == 0:
+                # Zero-hop route: free to use; dominate the weights.
+                return [
+                    1.0 if r.distance == 0 else 0.0 for r in routes
+                ]
+            scores.append(max(0.0, bandwidth) / distance)
+        total = sum(scores)
+        if total <= 0:
+            return distance_weights(self._distances)
+        return [score / total for score in scores]
+
+
+class HybridWeighted(_WeightedSelectorBase):
+    """WD/D+H+B: every information source the paper considers, combined.
+
+    Not one of the paper's three algorithms — the obvious next step it
+    leaves open.  Weights multiply the bandwidth-per-distance score of
+    WD/D+B (eqs. 11-12) with the history decay of WD/D+H (eqs. 8-9):
+
+        W_i  ~  (B_i / D_i) * alpha ** h_i
+
+    renormalized.  History covers what stale bandwidth snapshots miss
+    (a route that *keeps failing* is punished immediately even if the
+    advertised bandwidth looks fine), while bandwidth covers what
+    history cannot see (congestion caused by other sources' flows).
+    The ablation bench quantifies the gain over either parent.
+    """
+
+    name = "WD/D+H+B"
+
+    def __init__(
+        self,
+        context: SelectionContext,
+        alpha: float = DEFAULT_ALPHA,
+        view: Optional["BandwidthView"] = None,
+    ):
+        super().__init__(context)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.history = AdmissionHistory(context.group)
+        self._distances = [float(d) for d in context.routes.distances()]
+        if view is None:
+            from repro.network.state import LiveBandwidthView
+
+            view = LiveBandwidthView(context.network)
+        self.view = view
+
+    def weights(self) -> list[float]:
+        routes = self.context.routes.routes()
+        counters = self.history.counters()
+        scores = []
+        for route, distance, failures in zip(
+            routes, self._distances, counters
+        ):
+            if distance == 0:
+                return [1.0 if r.distance == 0 else 0.0 for r in routes]
+            bandwidth = max(0.0, self.view.path_available_bps(route.path))
+            scores.append((bandwidth / distance) * self.alpha**failures)
+        total = sum(scores)
+        if total <= 0:
+            return distance_weights(self._distances)
+        return [score / total for score in scores]
+
+    def observe(self, member: NodeId, success: bool) -> None:
+        if success:
+            self.history.record_success(member)
+        else:
+            self.history.record_failure(member)
+
+
+class ShortestPathSelector(_WeightedSelectorBase):
+    """SP baseline: always the member with the shortest fixed route.
+
+    All weight on one member, so anycast traffic from a source is never
+    spread — the congestion-prone behaviour the paper argues against.
+    """
+
+    name = "SP"
+
+    def __init__(self, context: SelectionContext):
+        super().__init__(context)
+        self._choice = context.routes.shortest_member()
+
+    def weights(self) -> list[float]:
+        return [
+            1.0 if member == self._choice else 0.0
+            for member in self.group.members
+        ]
+
+    def select(
+        self, rng: RandomStream, exclude: frozenset = frozenset()
+    ) -> NodeId:
+        if self._choice in exclude:
+            # SP has no second choice; fall back to the next-nearest
+            # non-excluded member for well-definedness under R > 1.
+            remaining = [
+                member
+                for member in self.group.members
+                if member not in exclude
+            ]
+            if not remaining:
+                raise ValueError("all group members excluded")
+            return min(
+                remaining,
+                key=lambda member: self.context.routes.route_to(member).distance,
+            )
+        return self._choice

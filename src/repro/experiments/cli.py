@@ -1,0 +1,181 @@
+"""Command-line interface: ``repro-anycast``.
+
+Regenerates any table or figure of the paper from the terminal::
+
+    repro-anycast fig6 --quick
+    repro-anycast tab1
+    repro-anycast all --quick --seed 7
+    repro-anycast run --algorithm "WD/D+H" --retrials 2 --rate 35
+
+``--quick`` switches to the scaled-down configuration (seconds per
+figure); the default is the paper-scale setup (minutes per figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.system import ALGORITHM_NAMES, SystemSpec
+from repro.experiments import ablations
+from repro.experiments.config import paper_config, quick_config
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_point
+from repro.experiments.tables import ALL_TABLES
+
+#: Ablation targets: name -> (runner, short description).
+ABLATION_TARGETS = {
+    "ablation-alpha": (
+        lambda config, rate: ablations.alpha_sweep(config, rate),
+        "WD/D+H history-decay alpha sweep",
+    ),
+    "ablation-info": (
+        lambda config, rate: ablations.information_decomposition(config, rate),
+        "ED vs WD/D vs WD/D+H vs WD/D+B decomposition",
+    ),
+    "ablation-staleness": (
+        lambda config, rate: ablations.staleness_sweep(config, rate),
+        "WD/D+B link-state staleness sweep",
+    ),
+    "ablation-retrial": (
+        lambda config, rate: ablations.retrial_discipline(config, rate),
+        "retrial sampling discipline",
+    ),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-anycast",
+        description=(
+            "Reproduce the evaluation of 'Distributed Admission Control for "
+            "Anycast Flows with QoS Requirements' (ICDCS 2001)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        choices=(
+            sorted(ALL_FIGURES)
+            + sorted(ALL_TABLES)
+            + sorted(ABLATION_TARGETS)
+            + ["all", "run"]
+        ),
+        help=(
+            "which figure/table/ablation to regenerate, 'all' "
+            "(figures+tables), or a single 'run'"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down horizons (seconds instead of minutes per figure)",
+    )
+    parser.add_argument("--seed", type=int, default=2001, help="root random seed")
+    parser.add_argument(
+        "--algorithm",
+        choices=ALGORITHM_NAMES,
+        default="WD/D+H",
+        help="system algorithm for 'run'",
+    )
+    parser.add_argument(
+        "--retrials", type=int, default=2, help="retrial limit R for 'run'"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=20.0, help="arrival rate for 'run'"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each result as CSV into this directory",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also write each result as JSON into this directory",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render figures additionally as ASCII line charts",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-anycast`` console script."""
+    args = _build_parser().parse_args(argv)
+    config = quick_config(args.seed) if args.quick else paper_config(args.seed)
+
+    targets: list[str]
+    if args.target == "all":
+        targets = sorted(ALL_FIGURES) + sorted(ALL_TABLES)
+    else:
+        targets = [args.target]
+
+    for target in targets:
+        started = time.perf_counter()
+        if target == "run":
+            spec = SystemSpec(args.algorithm, retrials=args.retrials)
+            point = run_point(spec, args.rate, config)
+            print(point)
+        elif target in ABLATION_TARGETS:
+            runner, description = ABLATION_TARGETS[target]
+            points = runner(config, args.rate)
+            rows = [
+                [
+                    str(condition),
+                    f"{point.admission_probability:.4f}",
+                    f"{point.mean_retrials:.4f}",
+                ]
+                for condition, point in points.items()
+            ]
+            print(
+                format_table(
+                    ["condition", "AP", "retrials"],
+                    rows,
+                    title=f"{description} @ lambda={args.rate:g}",
+                )
+            )
+        elif target in ALL_FIGURES:
+            result = ALL_FIGURES[target](config)
+            print(result.render())
+            if args.plot:
+                from repro.experiments.report import ascii_plot
+
+                print()
+                print(ascii_plot(list(result.x_values), result.series))
+            _export(result, target, args, kind="figure")
+        else:
+            result = ALL_TABLES[target](config)
+            print(result.render())
+            print(f"max |analysis - simulation| = {result.max_absolute_gap:.6f}")
+            _export(result, target, args, kind="table")
+        elapsed = time.perf_counter() - started
+        print(f"[{target}: {elapsed:.1f}s]", file=sys.stderr)
+        print()
+    return 0
+
+
+def _export(result, target: str, args, kind: str) -> None:
+    """Write CSV/JSON copies of a result if the user asked for them."""
+    import os
+
+    from repro.experiments import export as export_module
+
+    for directory, suffix, exporter in (
+        (args.csv, "csv", getattr(export_module, f"{kind}_to_csv")),
+        (args.json, "json", getattr(export_module, f"{kind}_to_json")),
+    ):
+        if directory is None:
+            continue
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{target}.{suffix}")
+        exporter(result, path)
+        print(f"[wrote {path}]", file=sys.stderr)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

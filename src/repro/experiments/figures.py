@@ -1,0 +1,157 @@
+"""Regeneration of Figures 3-7 of the paper.
+
+Figures 3-5 are the retrial-sensitivity studies: admission probability
+of ``<A, R>`` versus arrival rate, one curve per ``R`` in 1..5, for
+``A`` = ED, WD/D+H and WD/D+B respectively.  Figure 6 compares
+``<ED,2>``, ``<WD/D+H,2>`` and ``<WD/D+B,2>`` against the SP and GDI
+baselines.  Figure 7 reports the average number of retrials of the
+three DAC systems.
+
+Each function returns a :class:`FigureResult` carrying the series and
+a text rendering; absolute values depend on the exact MCI wiring (see
+DESIGN.md) but the paper's qualitative observations are asserted by
+the accompanying benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.system import SystemSpec
+from repro.experiments.config import ExperimentConfig, paper_config
+from repro.experiments.report import format_series_table
+from repro.experiments.runner import SweepResult, sweep
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Series data for one figure.
+
+    Attributes
+    ----------
+    figure_id:
+        e.g. ``"fig3"``.
+    title:
+        Human-readable description.
+    x_values:
+        The arrival-rate grid.
+    series:
+        Mapping of curve label to y values (AP, or retrials for fig 7).
+    sweeps:
+        The underlying full sweep results, for drill-down.
+    """
+
+    figure_id: str
+    title: str
+    x_values: tuple
+    series: dict
+    sweeps: tuple
+
+    def render(self) -> str:
+        """The figure as an aligned text table."""
+        return format_series_table(
+            "series",
+            self.x_values,
+            self.series,
+            title=f"{self.figure_id.upper()}: {self.title}",
+        )
+
+    def series_for(self, label: str) -> list[float]:
+        """One curve's y values."""
+        return list(self.series[label])
+
+
+def _sensitivity_figure(
+    figure_id: str,
+    algorithm: str,
+    config: ExperimentConfig,
+) -> FigureResult:
+    """Shared machinery of Figures 3-5."""
+    specs = [
+        SystemSpec(algorithm, retrials=r) for r in config.retrial_limits
+    ]
+    sweeps = sweep(specs, config)
+    series = {
+        result.system_label: result.admission_probabilities() for result in sweeps
+    }
+    return FigureResult(
+        figure_id=figure_id,
+        title=f"Admission probability of <{algorithm},R> vs arrival rate",
+        x_values=tuple(config.arrival_rates),
+        series=series,
+        sweeps=tuple(sweeps),
+    )
+
+
+def figure3(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 3: AP sensitivity of ``<ED, R>`` to lambda and R."""
+    return _sensitivity_figure("fig3", "ED", config or paper_config())
+
+
+def figure4(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 4: AP sensitivity of ``<WD/D+H, R>`` to lambda and R."""
+    return _sensitivity_figure("fig4", "WD/D+H", config or paper_config())
+
+
+def figure5(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 5: AP sensitivity of ``<WD/D+B, R>`` to lambda and R."""
+    return _sensitivity_figure("fig5", "WD/D+B", config or paper_config())
+
+
+#: The systems compared in Figures 6 and 7 (paper Section 5.2.2).
+COMPARISON_SPECS: tuple[SystemSpec, ...] = (
+    SystemSpec("SP"),
+    SystemSpec("ED", retrials=2),
+    SystemSpec("WD/D+H", retrials=2),
+    SystemSpec("WD/D+B", retrials=2),
+    SystemSpec("GDI"),
+)
+
+
+def figure6(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 6: AP of the three DAC systems vs the SP/GDI baselines."""
+    config = config or paper_config()
+    sweeps = sweep(COMPARISON_SPECS, config)
+    series = {
+        result.system_label: result.admission_probabilities() for result in sweeps
+    }
+    return FigureResult(
+        figure_id="fig6",
+        title="Admission probability comparison with baseline systems",
+        x_values=tuple(config.arrival_rates),
+        series=series,
+        sweeps=tuple(sweeps),
+    )
+
+
+def figure7(config: Optional[ExperimentConfig] = None) -> FigureResult:
+    """Figure 7: average retrials of ``<ED,2>``, ``<WD/D+H,2>``, ``<WD/D+B,2>``.
+
+    The overhead metric: each retrial costs one extra reservation
+    round trip.
+    """
+    config = config or paper_config()
+    specs = [
+        SystemSpec("ED", retrials=2),
+        SystemSpec("WD/D+H", retrials=2),
+        SystemSpec("WD/D+B", retrials=2),
+    ]
+    sweeps = sweep(specs, config)
+    series = {result.system_label: result.mean_retrials() for result in sweeps}
+    return FigureResult(
+        figure_id="fig7",
+        title="Average number of retrials vs arrival rate",
+        x_values=tuple(config.arrival_rates),
+        series=series,
+        sweeps=tuple(sweeps),
+    )
+
+
+ALL_FIGURES = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+}

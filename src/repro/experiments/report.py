@@ -1,0 +1,125 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports its evaluation as figures and tables; in a terminal
+library the equivalent deliverable is aligned text: one column per
+arrival rate, one row per system/series.  These helpers render the
+structured results of :mod:`repro.experiments.runner`,
+:mod:`repro.experiments.figures` and :mod:`repro.experiments.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cells, already stringified; every row must have
+        ``len(headers)`` cells.
+    title:
+        Optional title line printed above the table.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render "one row per series, one column per x" (figure style).
+
+    Parameters
+    ----------
+    x_label:
+        Header of the leading column (e.g. ``"system"``).
+    x_values:
+        The x grid (e.g. arrival rates).
+    series:
+        Mapping of series label to y values aligned with ``x_values``.
+    """
+    headers = [x_label] + [f"{x:g}" for x in x_values]
+    rows = []
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} values for "
+                f"{len(x_values)} x points"
+            )
+        rows.append([label] + [f"{value:.{precision}f}" for value in values])
+    return format_table(headers, rows, title=title)
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """A rough terminal line chart for eyeballing trends.
+
+    Each series is drawn with its own marker character; values are
+    linearly mapped onto a ``width`` x ``height`` character grid.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    all_values = [v for values in series.values() for v in values]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, values):
+            column = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.4f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<10g}{'':^{max(0, width - 20)}}{x_max:>10g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""On-disk cache of experiment results.
+
+Paper-scale points take minutes of simulation; sweeping many systems
+over many rates re-runs unchanged points again and again.
+:class:`ResultStore` memoizes :class:`repro.experiments.runner.
+PointResult` objects on disk, keyed by a content hash of everything
+that determines the outcome (system spec, arrival rate and every
+workload-relevant config field) — so editing one parameter invalidates
+exactly the points it affects.
+
+Determinism makes this sound: identical keys genuinely produce
+identical results (see ``tests/integration/test_determinism_golden``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Callable, Optional
+
+from repro.core.system import SystemSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PointResult, run_point
+
+#: Config fields that affect simulation outcomes (and therefore key
+#: the cache).  Display-only fields are deliberately absent.
+_KEYED_FIELDS = (
+    "topology",
+    "sources",
+    "group_members",
+    "mean_lifetime_s",
+    "bandwidth_bps",
+    "warmup_s",
+    "measure_s",
+    "replications",
+    "seed",
+    "source_weights",
+    "bandwidth_classes",
+)
+
+
+def _point_key(spec: SystemSpec, arrival_rate: float, config: ExperimentConfig) -> str:
+    payload = {
+        "spec": asdict(spec),
+        "arrival_rate": arrival_rate,
+        "config": {field: getattr(config, field) for field in _KEYED_FIELDS},
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+def _point_to_json(point: PointResult) -> dict:
+    return {
+        "system_label": point.system_label,
+        "arrival_rate": point.arrival_rate,
+        "replications": point.replications,
+        "admission_probability": point.admission_probability,
+        "ap_ci_low": point.ap_ci_low,
+        "ap_ci_high": point.ap_ci_high,
+        "mean_retrials": point.mean_retrials,
+        "mean_attempts": point.mean_attempts,
+        "requests": point.requests,
+    }
+
+
+def _point_from_json(payload: dict) -> PointResult:
+    return PointResult(runs=(), **payload)
+
+
+class ResultStore:
+    """A directory of memoized experiment points.
+
+    Parameters
+    ----------
+    directory:
+        Created on first write if absent.  One JSON file per point.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(
+        self, spec: SystemSpec, arrival_rate: float, config: ExperimentConfig
+    ) -> Optional[PointResult]:
+        """The cached point, or ``None``."""
+        path = self._path(_point_key(spec, arrival_rate, config))
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return _point_from_json(json.load(handle))
+
+    def put(
+        self,
+        spec: SystemSpec,
+        arrival_rate: float,
+        config: ExperimentConfig,
+        point: PointResult,
+    ) -> None:
+        """Store a point (overwrites any previous value for the key)."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self._path(_point_key(spec, arrival_rate, config))
+        with open(path, "w") as handle:
+            json.dump(_point_to_json(point), handle, indent=2)
+
+    def get_or_run(
+        self,
+        spec: SystemSpec,
+        arrival_rate: float,
+        config: ExperimentConfig,
+        runner: Callable[..., PointResult] = run_point,
+    ) -> PointResult:
+        """Return the cached point or run and cache it.
+
+        ``runner`` is injectable for testing; it must have
+        :func:`repro.experiments.runner.run_point`'s signature.
+        """
+        cached = self.get(spec, arrival_rate, config)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        point = runner(spec, arrival_rate, config)
+        self.put(spec, arrival_rate, config, point)
+        return point
+
+    def entry_count(self) -> int:
+        """Number of cached points on disk."""
+        if not os.path.isdir(self.directory):
+            return 0
+        return sum(
+            1 for name in os.listdir(self.directory) if name.endswith(".json")
+        )
+
+    def clear(self) -> None:
+        """Delete every cached point."""
+        if not os.path.isdir(self.directory):
+            return
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.unlink(os.path.join(self.directory, name))

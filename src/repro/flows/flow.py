@@ -1,0 +1,119 @@
+"""Flow requests and admitted flows.
+
+A :class:`FlowRequest` is what an application hands to the network:
+"establish an anycast flow from this source to this group with this
+QoS".  If the Distributed Admission Control procedure admits it, the
+result is an :class:`AdmittedFlow` pinned to one destination and one
+route for its whole lifetime — the paper's sequencing requirement that
+every packet of a flow goes to the member the first packet reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.flows.group import AnycastGroup
+from repro.flows.qos import QoSRequirement
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """An anycast flow establishment request.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique identifier; also keys the per-link reservation ledgers.
+    source:
+        Source node (the AC-router that handles admission).
+    group:
+        The anycast destination group ``G(A)``.
+    qos:
+        QoS requirement; :attr:`bandwidth_bps` below is derived from it.
+    arrival_time:
+        Simulation time at which the request arrived.
+    lifetime_s:
+        Flow holding time, sampled at arrival (exponential in the
+        paper's workload).  ``None`` for open-ended flows that are torn
+        down explicitly.
+    """
+
+    flow_id: int
+    source: NodeId
+    group: AnycastGroup
+    qos: QoSRequirement
+    arrival_time: float = 0.0
+    lifetime_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.lifetime_s is not None and self.lifetime_s < 0:
+            raise ValueError(f"lifetime must be non-negative, got {self.lifetime_s}")
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Effective bandwidth the network must reserve for this flow."""
+        return self.qos.effective_bandwidth_bps
+
+    @property
+    def departure_time(self) -> Optional[float]:
+        """Scheduled end of the flow, if the lifetime is known."""
+        if self.lifetime_s is None:
+            return None
+        return self.arrival_time + self.lifetime_s
+
+
+@dataclass
+class AdmittedFlow:
+    """An admitted anycast flow holding bandwidth along its route.
+
+    Attributes
+    ----------
+    request:
+        The originating request.
+    destination:
+        The group member selected by admission control.
+    path:
+        The node path the reservation was made on.
+    admitted_at:
+        Simulation time of admission.
+    attempts:
+        Number of destinations tried before success (>= 1).
+    """
+
+    request: FlowRequest
+    destination: NodeId
+    path: tuple
+    admitted_at: float
+    attempts: int = 1
+    released: bool = field(default=False, compare=False)
+
+    def __post_init__(self):
+        if self.destination not in self.request.group:
+            raise ValueError(
+                f"destination {self.destination!r} is not in group "
+                f"{self.request.group.address!r}"
+            )
+        if len(self.path) >= 1 and self.path[-1] != self.destination:
+            raise ValueError(
+                f"path {self.path} does not end at destination {self.destination!r}"
+            )
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    @property
+    def flow_id(self) -> int:
+        """Identifier shared with the request and the link ledgers."""
+        return self.request.flow_id
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Bandwidth held on every link of :attr:`path`."""
+        return self.request.bandwidth_bps
+
+    @property
+    def hop_count(self) -> int:
+        """Number of links on the flow's route."""
+        return max(0, len(self.path) - 1)

@@ -1,0 +1,81 @@
+"""Anycast groups.
+
+An anycast flow is addressed to an anycast address ``A``; ``G(A)`` is
+the group of designated recipients, any one of which may terminate the
+flow (paper Section 3).  A unicast destination is the degenerate group
+of size one.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+NodeId = Hashable
+
+
+class AnycastGroup:
+    """A group of designated recipients sharing one anycast address.
+
+    Parameters
+    ----------
+    address:
+        The anycast address (any hashable label, e.g. ``"A"``).
+    members:
+        The recipient nodes.  Order is preserved — weight vectors in
+        the destination-selection algorithms are indexed by this order.
+        Duplicates are rejected.
+    """
+
+    def __init__(self, address: Hashable, members: Sequence[NodeId]):
+        members = tuple(members)
+        if not members:
+            raise ValueError("anycast group must have at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate members in group {address!r}: {members}")
+        self.address = address
+        self._members = members
+        self._member_index = {member: i for i, member in enumerate(members)}
+
+    @property
+    def members(self) -> tuple:
+        """Members in canonical (weight-vector) order."""
+        return self._members
+
+    @property
+    def size(self) -> int:
+        """Group size ``K``."""
+        return len(self._members)
+
+    @property
+    def is_unicast(self) -> bool:
+        """Whether this is the degenerate single-member (unicast) case."""
+        return len(self._members) == 1
+
+    def index_of(self, member: NodeId) -> int:
+        """Position of ``member`` in the canonical order."""
+        try:
+            return self._member_index[member]
+        except KeyError:
+            raise ValueError(
+                f"{member!r} is not a member of group {self.address!r}"
+            ) from None
+
+    def __contains__(self, member: NodeId) -> bool:
+        return member in self._member_index
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AnycastGroup):
+            return NotImplemented
+        return self.address == other.address and self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((self.address, self._members))
+
+    def __repr__(self) -> str:
+        return f"AnycastGroup({self.address!r}, members={self._members})"

@@ -1,0 +1,250 @@
+"""Link faults and repairs (the paper's Section 3 extension hook).
+
+The paper assumes a fault-free network "between any pair of nodes,
+there exists at least one functioning path", noting that "our approach
+can be extended to deal with the situation when this assumption does
+not hold".  This module implements that extension:
+
+* :meth:`Network`-level fault state is kept *here*, not in the links,
+  so the capacity model stays untouched: a failed link simply refuses
+  new reservations and reports zero available bandwidth through the
+  :class:`FaultyNetworkView` wrapper.
+* Flows that were traversing a failed link are killed (their
+  reservations released everywhere) — the behaviour of a hard RSVP
+  state timeout.
+* :class:`FaultInjector` schedules random link down/up events on the
+  simulation clock (exponential time-to-failure and time-to-repair),
+  and notifies a callback with the flows it killed so the simulation
+  can record them.
+
+AC-routers keep their fixed routes (the paper's model); a route
+through a failed link simply fails reservation, and retrial control
+redirects the request to another member — which is precisely how the
+DAC procedure absorbs faults without new machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Optional
+
+from repro.network.topology import Network
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import RandomStream
+
+NodeId = Hashable
+FlowId = Hashable
+LinkKey = tuple
+
+
+@dataclass
+class FaultEvent:
+    """One fault-state transition, for tracing."""
+
+    time: float
+    link: LinkKey
+    failed: bool
+    killed_flows: tuple = ()
+
+
+class FaultState:
+    """Tracks which physical links are currently down.
+
+    Both directions of a cable fail together (a fiber cut).  The state
+    integrates with admission through :meth:`kill_flows_on`, which
+    releases every reservation of the flows crossing a failed link and
+    returns their identifiers so callers can tear them down end to end.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._down: set[frozenset] = set()
+        self.events: list[FaultEvent] = []
+
+    @staticmethod
+    def _cable(u: NodeId, v: NodeId) -> frozenset:
+        return frozenset((u, v))
+
+    def is_down(self, u: NodeId, v: NodeId) -> bool:
+        """Whether the physical cable between ``u`` and ``v`` is down."""
+        return self._cable(u, v) in self._down
+
+    def down_cables(self) -> list[tuple]:
+        """Currently failed cables as sorted node pairs."""
+        return sorted(tuple(sorted(cable, key=repr)) for cable in self._down)
+
+    def path_is_up(self, path) -> bool:
+        """Whether every cable along ``path`` is functioning."""
+        return all(
+            not self.is_down(u, v) for u, v in zip(path, path[1:])
+        )
+
+    def fail(self, u: NodeId, v: NodeId, now: float = 0.0) -> list[FlowId]:
+        """Fail the cable; returns the flows whose reservations crossed it.
+
+        The affected flows' reservations are released on *both
+        directions* of the failed cable only — the caller must finish
+        the teardown along the rest of each flow's route (it knows the
+        routes; this module does not).
+        """
+        if not self.network.has_link(u, v):
+            raise ValueError(f"no cable between {u!r} and {v!r}")
+        cable = self._cable(u, v)
+        if cable in self._down:
+            return []
+        self._down.add(cable)
+        killed: list[FlowId] = []
+        for a, b in ((u, v), (v, u)):
+            if self.network.has_link(a, b):
+                link = self.network.link(a, b)
+                for flow_id in list(link.flows()):
+                    link.release(flow_id)
+                    killed.append(flow_id)
+        self.events.append(
+            FaultEvent(time=now, link=(u, v), failed=True, killed_flows=tuple(killed))
+        )
+        return killed
+
+    def repair(self, u: NodeId, v: NodeId, now: float = 0.0) -> None:
+        """Bring the cable back into service."""
+        cable = self._cable(u, v)
+        if cable not in self._down:
+            return
+        self._down.discard(cable)
+        self.events.append(FaultEvent(time=now, link=(u, v), failed=False))
+
+
+class FaultAwareReservationEngine:
+    """Reservation engine that refuses routes crossing failed cables.
+
+    Wraps :class:`repro.core.reservation.AtomicReservationEngine`
+    behaviour with a fault check, so AC-routers treat a failed link
+    exactly like a saturated one — the retrial mechanism then steers
+    requests to other group members, which is the paper's suggested
+    fault-handling extension.
+    """
+
+    def __init__(self, network: Network, faults: FaultState):
+        from repro.core.reservation import AtomicReservationEngine
+
+        self.faults = faults
+        self._inner = AtomicReservationEngine(network)
+
+    @property
+    def attempts(self) -> int:
+        """Reservation attempts made."""
+        return self._inner.attempts
+
+    @property
+    def failures(self) -> int:
+        """Attempts refused (saturation or fault)."""
+        return self._inner.failures
+
+    def try_reserve(self, route, flow_id: FlowId, bandwidth_bps: float) -> bool:
+        """Reserve unless saturated *or* the route crosses a failure."""
+        if not self.faults.path_is_up(route.path):
+            self._inner.attempts += 1
+            self._inner.failures += 1
+            return False
+        return self._inner.try_reserve(route, flow_id, bandwidth_bps)
+
+    def release(self, path, flow_id: FlowId) -> None:
+        """Release surviving reservations of a flow along ``path``.
+
+        After a fault some links may already have dropped the flow, so
+        this releases only where the reservation still exists.
+        """
+        for link in self._inner.network.path_links(path):
+            link.release_if_held(flow_id)
+
+
+class FaultInjector:
+    """Schedules random fail/repair cycles on the simulation clock.
+
+    Each physical cable independently alternates between up and down
+    states with exponential holding times.
+
+    Parameters
+    ----------
+    simulator:
+        The event engine to schedule on.
+    faults:
+        Shared fault state.
+    rng:
+        Random stream for failure/repair times.
+    mean_time_to_failure_s / mean_time_to_repair_s:
+        Exponential means of the up and down periods.
+    cables:
+        The cables subject to faults (defaults to every cable).
+    on_fail:
+        Callback ``(cable, killed_flow_ids)`` invoked at each failure
+        so the owning simulation can finish tearing down killed flows.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        faults: FaultState,
+        rng: RandomStream,
+        mean_time_to_failure_s: float,
+        mean_time_to_repair_s: float,
+        cables: Optional[Iterable[tuple]] = None,
+        on_fail: Optional[Callable[[tuple, list], None]] = None,
+    ):
+        if mean_time_to_failure_s <= 0 or mean_time_to_repair_s <= 0:
+            raise ValueError("failure and repair means must be positive")
+        self.simulator = simulator
+        self.faults = faults
+        self.rng = rng
+        self.mttf = mean_time_to_failure_s
+        self.mttr = mean_time_to_repair_s
+        self.on_fail = on_fail
+        if cables is None:
+            seen = set()
+            cables = []
+            for link in faults.network.links():
+                cable = frozenset((link.source, link.target))
+                if cable not in seen:
+                    seen.add(cable)
+                    cables.append((link.source, link.target))
+        self.cables = list(cables)
+        self.failures_injected = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Arm the first failure timer of every cable."""
+        self._stopped = False
+        for cable in self.cables:
+            self._schedule_failure(cable)
+
+    def stop(self) -> None:
+        """Cease injecting: pending timers become no-ops.
+
+        Without this, the injector's self-rescheduling timers keep the
+        event calendar non-empty forever, so a caller that wants to
+        drain remaining flow departures after the measurement horizon
+        (``simulator.run()`` with no bound) would never return.
+        """
+        self._stopped = True
+
+    def _schedule_failure(self, cable: tuple) -> None:
+        delay = self.rng.exponential(self.mttf)
+        self.simulator.schedule(delay, lambda: self._fail(cable))
+
+    def _fail(self, cable: tuple) -> None:
+        if self._stopped:
+            return
+        u, v = cable
+        killed = self.faults.fail(u, v, now=self.simulator.now)
+        self.failures_injected += 1
+        if self.on_fail is not None:
+            self.on_fail(cable, killed)
+        self.simulator.schedule(
+            self.rng.exponential(self.mttr), lambda: self._repair(cable)
+        )
+
+    def _repair(self, cable: tuple) -> None:
+        u, v = cable
+        self.faults.repair(u, v, now=self.simulator.now)
+        if not self._stopped:
+            self._schedule_failure(cable)

@@ -1,0 +1,182 @@
+"""Directed capacitated links with per-flow reservation ledgers.
+
+The paper's network model (Section 3) gives every link a capacity that
+is consumed by active anycast flows; the *available bandwidth*
+``AB_l`` is what admission control checks and what the WD/D+B
+destination-selection algorithm feeds on.
+
+A physical cable is modelled as two :class:`Link` objects, one per
+direction, since a flow consumes bandwidth only in its direction of
+travel.  Each link keeps a ledger mapping flow identifiers to granted
+bandwidth so releases are exact, double-reservations are caught, and
+heterogeneous per-flow bandwidths are supported even though the
+paper's experiments use a single 64 kbit/s class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterator, Optional
+
+FlowId = Hashable
+NodeId = Hashable
+
+
+class InsufficientBandwidthError(RuntimeError):
+    """Raised by :meth:`Link.reserve` when the request does not fit."""
+
+
+class Link:
+    """A directed link from ``source`` to ``target``.
+
+    Parameters
+    ----------
+    source, target:
+        Endpoint node identifiers.
+    capacity_bps:
+        Bandwidth available to anycast flows, in bits per second.  In
+        the paper's setup this is the 20 % anycast share of a
+        100 Mbit/s cable, i.e. 20 Mbit/s.
+    propagation_delay_s:
+        One-way propagation delay, used by the RSVP-lite signalling
+        model (the admission results themselves do not depend on it).
+    """
+
+    __slots__ = (
+        "source",
+        "target",
+        "capacity_bps",
+        "propagation_delay_s",
+        "_reservations",
+        "_reserved_bps",
+        "rejections",
+        "grants",
+    )
+
+    def __init__(
+        self,
+        source: NodeId,
+        target: NodeId,
+        capacity_bps: float,
+        propagation_delay_s: float = 0.001,
+    ):
+        if capacity_bps < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity_bps}")
+        if propagation_delay_s < 0:
+            raise ValueError(
+                f"propagation delay must be non-negative, got {propagation_delay_s}"
+            )
+        self.source = source
+        self.target = target
+        self.capacity_bps = float(capacity_bps)
+        self.propagation_delay_s = float(propagation_delay_s)
+        self._reservations: dict[FlowId, float] = {}
+        self._reserved_bps = 0.0
+        #: number of reservation attempts refused for lack of bandwidth
+        self.rejections = 0
+        #: number of successful reservations
+        self.grants = 0
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def reserved_bps(self) -> float:
+        """Total bandwidth currently reserved on this link."""
+        return self._reserved_bps
+
+    @property
+    def available_bps(self) -> float:
+        """Available bandwidth ``AB_l`` — capacity minus reservations."""
+        return self.capacity_bps - self._reserved_bps
+
+    @property
+    def utilization(self) -> float:
+        """Instantaneous fraction of capacity reserved (0 for zero-capacity)."""
+        if self.capacity_bps == 0:
+            return 0.0
+        return self._reserved_bps / self.capacity_bps
+
+    @property
+    def flow_count(self) -> int:
+        """Number of flows holding reservations."""
+        return len(self._reservations)
+
+    def holds(self, flow_id: FlowId) -> bool:
+        """Whether ``flow_id`` has a reservation on this link."""
+        return flow_id in self._reservations
+
+    def reservation_of(self, flow_id: FlowId) -> float:
+        """Bandwidth reserved by ``flow_id`` (0.0 if none)."""
+        return self._reservations.get(flow_id, 0.0)
+
+    def flows(self) -> Iterator[FlowId]:
+        """Iterate over flow ids with active reservations."""
+        return iter(self._reservations)
+
+    # ------------------------------------------------------------------
+    # reservation operations
+    # ------------------------------------------------------------------
+    def can_admit(self, bandwidth_bps: float) -> bool:
+        """Whether ``bandwidth_bps`` fits in the available bandwidth."""
+        return bandwidth_bps <= self.available_bps + 1e-9
+
+    def reserve(self, flow_id: FlowId, bandwidth_bps: float) -> None:
+        """Reserve ``bandwidth_bps`` for ``flow_id``.
+
+        Raises
+        ------
+        InsufficientBandwidthError
+            If the link lacks the requested bandwidth.  The rejection
+            counter is incremented in that case.
+        ValueError
+            If the flow already holds a reservation here (a flow
+            traverses a link at most once) or the amount is invalid.
+        """
+        if bandwidth_bps < 0:
+            raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        if flow_id in self._reservations:
+            raise ValueError(
+                f"flow {flow_id!r} already reserved on link "
+                f"{self.source}->{self.target}"
+            )
+        if not self.can_admit(bandwidth_bps):
+            self.rejections += 1
+            raise InsufficientBandwidthError(
+                f"link {self.source}->{self.target}: requested "
+                f"{bandwidth_bps:g} bps but only {self.available_bps:g} available"
+            )
+        self._reservations[flow_id] = float(bandwidth_bps)
+        self._reserved_bps += float(bandwidth_bps)
+        self.grants += 1
+
+    def release(self, flow_id: FlowId) -> float:
+        """Release the reservation held by ``flow_id``.
+
+        Returns the bandwidth released.
+
+        Raises
+        ------
+        KeyError
+            If the flow holds no reservation on this link.
+        """
+        bandwidth = self._reservations.pop(flow_id)
+        self._reserved_bps -= bandwidth
+        if not self._reservations or self._reserved_bps < 0:
+            # Snap accumulated floating-point drift: with an empty
+            # ledger the reserved total is exactly zero by definition.
+            self._reserved_bps = math.fsum(self._reservations.values())
+        return bandwidth
+
+    def release_if_held(self, flow_id: FlowId) -> float:
+        """Release the flow's reservation if present; returns amount (or 0)."""
+        if flow_id not in self._reservations:
+            return 0.0
+        return self.release(flow_id)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.source}->{self.target}, "
+            f"{self._reserved_bps:g}/{self.capacity_bps:g} bps reserved)"
+        )

@@ -1,0 +1,272 @@
+"""Fixed-path routing and path search.
+
+Section 3 of the paper assumes that "to one source, there is a fixed
+path to each member in an anycast group", obtained from ordinary
+routing protocols, and that path *length in hops* drives the biased
+destination-selection algorithms.  This module provides:
+
+* :func:`shortest_path` -- deterministic minimum-hop path (BFS with a
+  lexicographic tie-break, so that repeated runs and the analytical
+  model agree on the same fixed routes).
+* :class:`RouteTable` -- the per-source table of fixed routes to every
+  member of an anycast group.
+* :func:`feasible_path` -- minimum-hop path restricted to links with
+  sufficient available bandwidth, used by the GDI baseline's
+  exhaustive global search.
+* :func:`k_shortest_paths` -- loop-free k-shortest paths (Yen's
+  algorithm) used in ablation studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.network.topology import Network, NetworkError
+
+NodeId = Hashable
+
+
+def _sorted_neighbors(network: Network, node: NodeId) -> list[NodeId]:
+    """Out-neighbors in a stable, repeatable order."""
+    return sorted(network.neighbors(node), key=repr)
+
+
+def shortest_path(
+    network: Network,
+    source: NodeId,
+    target: NodeId,
+    min_available_bps: Optional[float] = None,
+) -> Optional[list[NodeId]]:
+    """Deterministic minimum-hop path from ``source`` to ``target``.
+
+    Breadth-first search expanding neighbors in sorted order, so among
+    equal-hop paths the lexicographically smallest (by node repr) is
+    returned.  If ``min_available_bps`` is given, only links with at
+    least that much available bandwidth are traversed — this variant
+    implements the GDI baseline's feasibility search.
+
+    Returns the node list (``[source, ..., target]``) or ``None`` if
+    unreachable.
+    """
+    if not network.has_node(source):
+        raise NetworkError(f"unknown source node {source!r}")
+    if not network.has_node(target):
+        raise NetworkError(f"unknown target node {target!r}")
+    if source == target:
+        return [source]
+    parents: dict[NodeId, NodeId] = {source: source}
+    frontier: deque[NodeId] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in _sorted_neighbors(network, node):
+            if neighbor in parents:
+                continue
+            if min_available_bps is not None:
+                link = network.link(node, neighbor)
+                if link.available_bps + 1e-9 < min_available_bps:
+                    continue
+            parents[neighbor] = node
+            if neighbor == target:
+                return _reconstruct(parents, source, target)
+            frontier.append(neighbor)
+    return None
+
+
+def feasible_path(
+    network: Network, source: NodeId, target: NodeId, bandwidth_bps: float
+) -> Optional[list[NodeId]]:
+    """Minimum-hop path using only links that can admit ``bandwidth_bps``.
+
+    This is the primitive behind the GDI baseline: the admission
+    succeeds iff such a path exists to *some* group member.
+    """
+    return shortest_path(network, source, target, min_available_bps=bandwidth_bps)
+
+
+def _reconstruct(
+    parents: dict[NodeId, NodeId], source: NodeId, target: NodeId
+) -> list[NodeId]:
+    path = [target]
+    node = target
+    while node != source:
+        node = parents[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def all_shortest_path_lengths(network: Network, source: NodeId) -> dict[NodeId, int]:
+    """Hop distance from ``source`` to every reachable node (BFS)."""
+    if not network.has_node(source):
+        raise NetworkError(f"unknown source node {source!r}")
+    distances = {source: 0}
+    frontier: deque[NodeId] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in _sorted_neighbors(network, node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def k_shortest_paths(
+    network: Network, source: NodeId, target: NodeId, k: int
+) -> list[list[NodeId]]:
+    """Yen's algorithm: up to ``k`` loop-free minimum-hop paths.
+
+    Paths are ordered by (hop count, lexicographic).  Used by the
+    multipath ablation of the GDI baseline.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    first = shortest_path(network, source, target)
+    if first is None:
+        return []
+    paths = [first]
+    candidates: list[tuple[int, list[str], list[NodeId]]] = []
+    seen = {tuple(first)}
+    while len(paths) < k:
+        previous = paths[-1]
+        for i in range(len(previous) - 1):
+            spur_node = previous[i]
+            root = previous[: i + 1]
+            removed_links: set[tuple[NodeId, NodeId]] = set()
+            for path in paths:
+                if len(path) > i and path[: i + 1] == root:
+                    removed_links.add((path[i], path[i + 1]))
+            banned_nodes = set(root[:-1])
+            spur = _restricted_bfs(network, spur_node, target, banned_nodes, removed_links)
+            if spur is not None:
+                candidate = root[:-1] + spur
+                key = tuple(candidate)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(
+                        (len(candidate), [repr(n) for n in candidate], candidate)
+                    )
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        paths.append(candidates.pop(0)[2])
+    return paths
+
+
+def _restricted_bfs(
+    network: Network,
+    source: NodeId,
+    target: NodeId,
+    banned_nodes: set,
+    banned_links: set,
+) -> Optional[list[NodeId]]:
+    """BFS avoiding given nodes and directed links (helper for Yen)."""
+    if source == target:
+        return [source]
+    parents = {source: source}
+    frontier: deque[NodeId] = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in _sorted_neighbors(network, node):
+            if neighbor in parents or neighbor in banned_nodes:
+                continue
+            if (node, neighbor) in banned_links:
+                continue
+            parents[neighbor] = node
+            if neighbor == target:
+                return _reconstruct(parents, source, target)
+            frontier.append(neighbor)
+    return None
+
+
+@dataclass(frozen=True)
+class Route:
+    """A fixed route from a source to one anycast-group member.
+
+    Attributes
+    ----------
+    source:
+        Origin node.
+    destination:
+        The anycast group member this route leads to.
+    path:
+        Node sequence ``(source, ..., destination)``.
+    """
+
+    source: NodeId
+    destination: NodeId
+    path: tuple
+
+    @property
+    def distance(self) -> int:
+        """Route distance ``D_i``: number of hops (links) on the path.
+
+        A degenerate route from a node to itself has distance 0.
+        """
+        return max(0, len(self.path) - 1)
+
+    def bottleneck_bps(self, network: Network) -> float:
+        """Route bandwidth ``B_i = min over links of AB_l`` (eq. 11)."""
+        return network.path_available_bps(self.path)
+
+    def __str__(self) -> str:
+        return "->".join(str(node) for node in self.path)
+
+
+class RouteTable:
+    """Fixed routes from one source to every member of an anycast group.
+
+    Built once from shortest paths (the "existing routing protocols" of
+    Section 3) and then treated as static, exactly as the paper
+    assumes.  The table preserves the member order of the group.
+    """
+
+    def __init__(self, network: Network, source: NodeId, members: Sequence[NodeId]):
+        if not members:
+            raise NetworkError("anycast group must have at least one member")
+        self.source = source
+        self._routes: dict[NodeId, Route] = {}
+        ordered = []
+        for member in members:
+            path = shortest_path(network, source, member)
+            if path is None:
+                raise NetworkError(
+                    f"no path from {source!r} to group member {member!r}"
+                )
+            route = Route(source=source, destination=member, path=tuple(path))
+            self._routes[member] = route
+            ordered.append(member)
+        self.members: tuple = tuple(ordered)
+
+    def route_to(self, member: NodeId) -> Route:
+        """The fixed route to ``member``."""
+        try:
+            return self._routes[member]
+        except KeyError:
+            raise NetworkError(f"{member!r} is not a group member") from None
+
+    def routes(self) -> list[Route]:
+        """All routes, in group-member order."""
+        return [self._routes[member] for member in self.members]
+
+    def distances(self) -> list[int]:
+        """Route distances ``D_1..D_K`` in member order."""
+        return [self._routes[member].distance for member in self.members]
+
+    def shortest_member(self) -> NodeId:
+        """The member with the minimum route distance (ties: first in
+        member order), i.e. the destination the SP baseline always picks."""
+        best = self.members[0]
+        best_distance = self._routes[best].distance
+        for member in self.members[1:]:
+            distance = self._routes[member].distance
+            if distance < best_distance:
+                best, best_distance = member, distance
+        return best
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RouteTable(source={self.source!r}, members={self.members})"

@@ -1,0 +1,113 @@
+"""Bandwidth views: live versus stale link-state information.
+
+The WD/D+B algorithm needs the bottleneck available bandwidth ``B_i``
+of every route.  The paper obtains it by extending RSVP so RESV
+messages carry the value back — which means, in any real deployment,
+the AC-router works with a *snapshot* that ages between refreshes.
+The evaluation models the optimistic limit (always-fresh values); this
+module makes information freshness an explicit, controllable knob:
+
+* :class:`LiveBandwidthView` -- reads the network's current state on
+  every query (the paper's idealization; zero staleness).
+* :class:`SnapshotBandwidthView` -- caches the whole network's
+  available bandwidths and refreshes the cache only every
+  ``refresh_period_s`` of simulated time, emulating periodic
+  link-state advertisements or RESV-piggybacked feedback.
+
+The staleness ablation bench sweeps the refresh period and shows how
+WD/D+B's advantage erodes as its information ages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+from repro.network.topology import Network
+
+
+class BandwidthView(Protocol):
+    """Source of (possibly stale) route-bandwidth information."""
+
+    def path_available_bps(self, path: Sequence) -> float:
+        """Bottleneck available bandwidth of ``path`` as this view sees it."""
+        ...
+
+
+class LiveBandwidthView:
+    """Perfectly fresh information: queries hit the network directly."""
+
+    def __init__(self, network: Network):
+        self._network = network
+
+    def path_available_bps(self, path: Sequence) -> float:
+        """Current bottleneck bandwidth of ``path``."""
+        return self._network.path_available_bps(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "LiveBandwidthView()"
+
+
+class SnapshotBandwidthView:
+    """Link-state snapshot refreshed every ``refresh_period_s``.
+
+    The first query takes a snapshot; subsequent queries reuse it until
+    the simulated clock advances past the refresh period, at which
+    point the next query re-snapshots the whole network (one flooded
+    advertisement, as a link-state protocol would).
+
+    Parameters
+    ----------
+    network:
+        The live network to snapshot.
+    clock:
+        Zero-argument callable returning current simulated time.
+    refresh_period_s:
+        Snapshot lifetime; 0 degenerates to live information.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        clock: Callable[[], float],
+        refresh_period_s: float,
+    ):
+        if refresh_period_s < 0:
+            raise ValueError(
+                f"refresh period must be non-negative, got {refresh_period_s}"
+            )
+        self._network = network
+        self._clock = clock
+        self.refresh_period_s = refresh_period_s
+        self._snapshot: dict = {}
+        self._taken_at: float = float("-inf")
+        #: number of snapshots taken (advertisement count)
+        self.refreshes = 0
+
+    def _maybe_refresh(self) -> None:
+        now = self._clock()
+        if now - self._taken_at >= self.refresh_period_s:
+            self._snapshot = self._network.snapshot_available()
+            self._taken_at = now
+            self.refreshes += 1
+
+    @property
+    def age_s(self) -> float:
+        """Seconds since the current snapshot was taken."""
+        if self._taken_at == float("-inf"):
+            return float("inf")
+        return self._clock() - self._taken_at
+
+    def path_available_bps(self, path: Sequence) -> float:
+        """Bottleneck bandwidth according to the cached snapshot."""
+        self._maybe_refresh()
+        if len(path) < 2:
+            return float("inf")
+        return min(
+            self._snapshot[(u, v)] for u, v in zip(path, path[1:])
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SnapshotBandwidthView(period={self.refresh_period_s:g}s, "
+            f"refreshes={self.refreshes})"
+        )

@@ -1,0 +1,223 @@
+"""The network graph: nodes plus directed capacitated links.
+
+Implements the model of Section 3: "a network that consists of a
+number of nodes... connected by physical links along which packets can
+be transmitted".  Physical cables are bidirectional; each direction is
+an independent :class:`repro.network.link.Link` with its own capacity
+and reservation ledger, because a flow consumes bandwidth only along
+its direction of travel.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, Sequence
+
+from repro.network.link import InsufficientBandwidthError, Link
+
+NodeId = Hashable
+FlowId = Hashable
+
+
+class NetworkError(RuntimeError):
+    """Raised for structural errors: unknown nodes, duplicate links..."""
+
+
+class Network:
+    """A directed multigraph-free network of capacitated links.
+
+    Nodes are arbitrary hashable identifiers (the canned topologies use
+    small integers).  At most one link may exist per ordered node pair.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic label shown in reports.
+    """
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self._nodes: dict[NodeId, dict] = {}
+        self._links: dict[tuple[NodeId, NodeId], Link] = {}
+        self._adjacency: dict[NodeId, list[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, **attributes) -> None:
+        """Add a node; re-adding an existing node updates attributes."""
+        if node in self._nodes:
+            self._nodes[node].update(attributes)
+            return
+        self._nodes[node] = dict(attributes)
+        self._adjacency[node] = []
+
+    def add_link(
+        self,
+        source: NodeId,
+        target: NodeId,
+        capacity_bps: float,
+        propagation_delay_s: float = 0.001,
+        bidirectional: bool = True,
+    ) -> None:
+        """Add a link (by default both directions of a physical cable).
+
+        Endpoints are added implicitly if absent.
+
+        Raises
+        ------
+        NetworkError
+            On self-loops or duplicate directed links.
+        """
+        if source == target:
+            raise NetworkError(f"self-loop on node {source!r} is not allowed")
+        self.add_node(source)
+        self.add_node(target)
+        directions = [(source, target)]
+        if bidirectional:
+            directions.append((target, source))
+        for u, v in directions:
+            if (u, v) in self._links:
+                raise NetworkError(f"duplicate link {u!r}->{v!r}")
+        for u, v in directions:
+            self._links[(u, v)] = Link(u, v, capacity_bps, propagation_delay_s)
+            self._adjacency[u].append(v)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def link_count(self) -> int:
+        """Number of *directed* links."""
+        return len(self._links)
+
+    def nodes(self) -> list[NodeId]:
+        """All node identifiers in insertion order."""
+        return list(self._nodes)
+
+    def node_attributes(self, node: NodeId) -> dict:
+        """Attribute dict of ``node`` (mutable view)."""
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` exists."""
+        return node in self._nodes
+
+    def has_link(self, source: NodeId, target: NodeId) -> bool:
+        """Whether the directed link exists."""
+        return (source, target) in self._links
+
+    def link(self, source: NodeId, target: NodeId) -> Link:
+        """The directed link object from ``source`` to ``target``."""
+        try:
+            return self._links[(source, target)]
+        except KeyError:
+            raise NetworkError(f"no link {source!r}->{target!r}") from None
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over all directed links."""
+        return iter(self._links.values())
+
+    def neighbors(self, node: NodeId) -> Sequence[NodeId]:
+        """Out-neighbors of ``node`` in insertion order."""
+        try:
+            return tuple(self._adjacency[node])
+        except KeyError:
+            raise NetworkError(f"unknown node {node!r}") from None
+
+    def degree(self, node: NodeId) -> int:
+        """Out-degree of ``node``."""
+        return len(self._adjacency.get(node, ()))
+
+    # ------------------------------------------------------------------
+    # path-level bandwidth operations
+    # ------------------------------------------------------------------
+    def path_links(self, path: Sequence[NodeId]) -> list[Link]:
+        """Resolve a node path to its directed link objects."""
+        if len(path) < 2:
+            return []
+        return [self.link(u, v) for u, v in zip(path, path[1:])]
+
+    def path_available_bps(self, path: Sequence[NodeId]) -> float:
+        """Bottleneck available bandwidth of ``path`` (eq. 11).
+
+        Returns ``inf`` for an empty/degenerate path, mirroring a flow
+        whose source and destination coincide and thus needs no links.
+        """
+        links = self.path_links(path)
+        if not links:
+            return float("inf")
+        return min(link.available_bps for link in links)
+
+    def path_admits(self, path: Sequence[NodeId], bandwidth_bps: float) -> bool:
+        """Whether every link on ``path`` can carry ``bandwidth_bps`` more."""
+        return all(link.can_admit(bandwidth_bps) for link in self.path_links(path))
+
+    def reserve_path(
+        self, path: Sequence[NodeId], flow_id: FlowId, bandwidth_bps: float
+    ) -> bool:
+        """Atomically reserve ``bandwidth_bps`` on every link of ``path``.
+
+        Either every link grants the reservation or none does (links
+        reserved before the failing hop are rolled back).  Returns
+        ``True`` on success.
+        """
+        reserved: list[Link] = []
+        for link in self.path_links(path):
+            try:
+                link.reserve(flow_id, bandwidth_bps)
+            except InsufficientBandwidthError:
+                for granted in reserved:
+                    granted.release(flow_id)
+                return False
+            reserved.append(link)
+        return True
+
+    def release_path(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
+        """Release the flow's reservation on every link of ``path``."""
+        for link in self.path_links(path):
+            link.release(flow_id)
+
+    def total_reserved_bps(self) -> float:
+        """Sum of reservations over all directed links."""
+        return sum(link.reserved_bps for link in self._links.values())
+
+    def snapshot_available(self) -> dict[tuple[NodeId, NodeId], float]:
+        """Map of directed link -> available bandwidth, for analysis."""
+        return {key: link.available_bps for key, link in self._links.items()}
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` (for tests/analysis).
+
+        Link attributes ``capacity_bps``, ``available_bps`` and
+        ``propagation_delay_s`` are attached to the edges.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        graph.add_nodes_from(self._nodes)
+        for (u, v), link in self._links.items():
+            graph.add_edge(
+                u,
+                v,
+                capacity_bps=link.capacity_bps,
+                available_bps=link.available_bps,
+                propagation_delay_s=link.propagation_delay_s,
+            )
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network({self.name!r}, nodes={self.node_count}, "
+            f"links={self.link_count})"
+        )

@@ -1,0 +1,126 @@
+"""Signalling message types for the RSVP-lite model.
+
+A deliberately small subset of RSVP: enough to measure how many
+messages and how much time one admission attempt costs, which is what
+the paper's retrial-overhead discussion needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable
+
+FlowId = Hashable
+
+
+class MessageType(enum.Enum):
+    """The RSVP-lite message vocabulary."""
+
+    #: downstream probe carrying the flow spec (RSVP PATH)
+    PATH = "PATH"
+    #: upstream reservation request (RSVP RESV)
+    RESV = "RESV"
+    #: upstream failure notification (RSVP PathErr/ResvErr collapsed)
+    PATH_ERR = "PATH_ERR"
+    #: teardown of an existing reservation (RSVP PathTear/ResvTear)
+    TEAR = "TEAR"
+
+
+@dataclass(frozen=True)
+class SignallingMessage:
+    """Base class: one message travelling one hop.
+
+    Attributes
+    ----------
+    flow_id:
+        The flow the message concerns.
+    route:
+        Full node path of the session (source first).
+    hop_index:
+        Index into ``route`` of the node currently *processing* the
+        message.
+    bandwidth_bps:
+        Bandwidth being requested / reserved / torn down.
+    """
+
+    flow_id: FlowId
+    route: tuple
+    hop_index: int
+    bandwidth_bps: float
+
+    def __post_init__(self):
+        if not 0 <= self.hop_index < len(self.route):
+            raise ValueError(
+                f"hop index {self.hop_index} outside route of "
+                f"{len(self.route)} nodes"
+            )
+        if self.bandwidth_bps < 0:
+            raise ValueError(
+                f"bandwidth must be non-negative, got {self.bandwidth_bps}"
+            )
+
+    @property
+    def at_node(self):
+        """Node currently processing the message."""
+        return self.route[self.hop_index]
+
+    @property
+    def message_type(self) -> MessageType:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PathMessage(SignallingMessage):
+    """Downstream probe: advisory bandwidth check hop by hop."""
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PATH
+
+    @property
+    def is_at_destination(self) -> bool:
+        """Whether the probe has reached the last node of the route."""
+        return self.hop_index == len(self.route) - 1
+
+
+@dataclass(frozen=True)
+class ResvMessage(SignallingMessage):
+    """Upstream reservation: actually holds bandwidth on each link.
+
+    ``bottleneck_bps`` accumulates the minimum available bandwidth
+    observed so far, which is exactly the route-bandwidth feedback the
+    WD/D+B algorithm requires the RESV message to carry (Section 4.3.2).
+    """
+
+    bottleneck_bps: float = float("inf")
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.RESV
+
+    @property
+    def is_at_source(self) -> bool:
+        """Whether the reservation has propagated back to the source."""
+        return self.hop_index == 0
+
+
+@dataclass(frozen=True)
+class PathErrMessage(SignallingMessage):
+    """Upstream failure notice; releases partial reservations."""
+
+    #: index of the hop whose link refused the reservation
+    failed_hop: int = 0
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.PATH_ERR
+
+
+@dataclass(frozen=True)
+class TearMessage(SignallingMessage):
+    """Downstream teardown releasing the flow's reservations."""
+
+    @property
+    def message_type(self) -> MessageType:
+        return MessageType.TEAR

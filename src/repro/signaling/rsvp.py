@@ -1,0 +1,250 @@
+"""Hop-by-hop RSVP-lite reservation sessions.
+
+One :class:`RsvpSession` performs one check-and-reserve attempt along
+a fixed route in simulated time:
+
+1. a PATH message travels source → destination, advisorily checking
+   available bandwidth at each hop (failing fast where bandwidth is
+   already missing);
+2. at the destination it turns around as a RESV message that travels
+   destination → source, *actually* reserving bandwidth on each link
+   (in the upstream direction of data flow) and accumulating the
+   bottleneck available bandwidth — the route-bandwidth feedback the
+   WD/D+B algorithm needs RESV to carry;
+3. if a link refuses (a competing session won the race since the PATH
+   probe), the partial reservations are rolled back and a PATH_ERR is
+   charged for the remaining distance to the source.
+
+Message counts and latency are recorded so the experiment harness can
+report the true signalling cost of retrials.  Admission probabilities
+are unaffected relative to the atomic engine except for rare races,
+which tests quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.network.link import InsufficientBandwidthError
+from repro.network.routing import Route
+from repro.network.topology import Network
+from repro.sim.engine import Simulator
+
+FlowId = Hashable
+
+#: Per-hop message processing time (seconds); propagation delay comes
+#: from each link.  Matches small-router forwarding-plane latencies.
+DEFAULT_PROCESSING_DELAY_S = 0.0002
+
+
+@dataclass
+class ReservationOutcome:
+    """Result of one signalled reservation attempt.
+
+    Attributes
+    ----------
+    success:
+        Whether the route is now reserved for the flow.
+    bottleneck_bps:
+        Minimum available bandwidth observed by the RESV sweep
+        (``inf`` if the PATH probe failed before turning around).
+    messages:
+        Total messages transmitted (PATH + RESV + PATH_ERR hops).
+    latency_s:
+        Wall-clock simulated time from start to decision.
+    failed_link:
+        The ``(u, v)`` pair that refused, if any.
+    """
+
+    success: bool
+    bottleneck_bps: float
+    messages: int
+    latency_s: float
+    failed_link: Optional[tuple] = None
+
+
+class RsvpSession:
+    """One PATH/RESV exchange for one flow over one route."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        route: Route,
+        flow_id: FlowId,
+        bandwidth_bps: float,
+        on_complete: Callable[[ReservationOutcome], None],
+        processing_delay_s: float = DEFAULT_PROCESSING_DELAY_S,
+    ):
+        if bandwidth_bps < 0:
+            raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        self._simulator = simulator
+        self._network = network
+        self._route = route
+        self._flow_id = flow_id
+        self._bandwidth = bandwidth_bps
+        self._on_complete = on_complete
+        self._processing_delay = processing_delay_s
+        self._messages = 0
+        self._started_at = simulator.now
+        self._reserved_links: list = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the PATH probe from the source."""
+        path = self._route.path
+        if len(path) < 2:
+            # Degenerate zero-hop route: nothing to reserve.
+            self._finish(success=True, bottleneck=float("inf"))
+            return
+        self._advance_path(hop_index=0)
+
+    # ------------------------------------------------------------------
+    # PATH phase: source -> destination, advisory checks
+    # ------------------------------------------------------------------
+    def _advance_path(self, hop_index: int) -> None:
+        path = self._route.path
+        link = self._network.link(path[hop_index], path[hop_index + 1])
+        if not link.can_admit(self._bandwidth):
+            # Fail fast: charge the hops travelled so far plus an error
+            # message back to the source.
+            self._messages += hop_index  # PATH_ERR retraces hop_index links
+            self._finish(
+                success=False,
+                bottleneck=float("inf"),
+                failed_link=(link.source, link.target),
+            )
+            return
+        self._messages += 1
+        delay = link.propagation_delay_s + self._processing_delay
+        if hop_index + 1 == len(path) - 1:
+            # PATH reached the destination: turn around as RESV.
+            self._simulator.schedule(
+                delay, lambda: self._advance_resv(len(path) - 1, float("inf"))
+            )
+        else:
+            self._simulator.schedule(
+                delay, lambda: self._advance_path(hop_index + 1)
+            )
+
+    # ------------------------------------------------------------------
+    # RESV phase: destination -> source, actual reservation
+    # ------------------------------------------------------------------
+    def _advance_resv(self, node_index: int, bottleneck: float) -> None:
+        path = self._route.path
+        if node_index == 0:
+            self._finish(success=True, bottleneck=bottleneck)
+            return
+        link = self._network.link(path[node_index - 1], path[node_index])
+        available_before = link.available_bps
+        try:
+            link.reserve(self._flow_id, self._bandwidth)
+        except InsufficientBandwidthError:
+            # Race lost: roll back what this session already reserved
+            # and charge PATH_ERR messages back to the source.
+            for reserved in self._reserved_links:
+                reserved.release(self._flow_id)
+            self._reserved_links.clear()
+            self._messages += node_index  # PATH_ERR to the source
+            self._finish(
+                success=False,
+                bottleneck=bottleneck,
+                failed_link=(link.source, link.target),
+            )
+            return
+        self._reserved_links.append(link)
+        bottleneck = min(bottleneck, available_before)
+        self._messages += 1
+        delay = link.propagation_delay_s + self._processing_delay
+        self._simulator.schedule(
+            delay, lambda: self._advance_resv(node_index - 1, bottleneck)
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        success: bool,
+        bottleneck: float,
+        failed_link: Optional[tuple] = None,
+    ) -> None:
+        outcome = ReservationOutcome(
+            success=success,
+            bottleneck_bps=bottleneck,
+            messages=self._messages,
+            latency_s=self._simulator.now - self._started_at,
+            failed_link=failed_link,
+        )
+        self._on_complete(outcome)
+
+
+class SignalledReservationEngine:
+    """Asynchronous reservation engine driving RSVP-lite sessions.
+
+    The message-level sibling of
+    :class:`repro.core.reservation.AtomicReservationEngine`: same
+    check-and-reserve semantics, but the decision arrives after the
+    round-trip signalling delay, and message/latency totals accumulate
+    for overhead reporting.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        processing_delay_s: float = DEFAULT_PROCESSING_DELAY_S,
+    ):
+        self.simulator = simulator
+        self.network = network
+        self.processing_delay_s = processing_delay_s
+        self.attempts = 0
+        self.failures = 0
+        self.total_messages = 0
+        self.total_latency_s = 0.0
+
+    def reserve(
+        self,
+        route: Route,
+        flow_id: FlowId,
+        bandwidth_bps: float,
+        on_complete: Callable[[ReservationOutcome], None],
+    ) -> None:
+        """Start a reservation attempt; ``on_complete`` fires later."""
+        self.attempts += 1
+
+        def record_and_forward(outcome: ReservationOutcome) -> None:
+            if not outcome.success:
+                self.failures += 1
+            self.total_messages += outcome.messages
+            self.total_latency_s += outcome.latency_s
+            on_complete(outcome)
+
+        session = RsvpSession(
+            self.simulator,
+            self.network,
+            route,
+            flow_id,
+            bandwidth_bps,
+            record_and_forward,
+            processing_delay_s=self.processing_delay_s,
+        )
+        session.start()
+
+    def release(self, path: Sequence, flow_id: FlowId) -> None:
+        """Tear down a reservation; TEAR messages are charged."""
+        self.network.release_path(path, flow_id)
+        self.total_messages += max(0, len(path) - 1)
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Average signalling latency per attempt (0 when untried)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.total_latency_s / self.attempts
+
+    @property
+    def mean_messages(self) -> float:
+        """Average messages per attempt (0 when untried)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.total_messages / self.attempts

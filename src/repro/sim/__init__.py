@@ -1,0 +1,61 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluated its Distributed Admission Control procedure with
+Mesquite CSIM, a closed-source, process-oriented simulation toolkit
+written in C.  This subpackage is a from-scratch, pure-Python
+equivalent providing the same modelling vocabulary:
+
+* :mod:`repro.sim.engine` -- the event calendar and simulation clock.
+* :mod:`repro.sim.process` -- generator-based processes (``hold``,
+  ``wait``) in the style of CSIM processes.
+* :mod:`repro.sim.resources` -- counting resources and facilities.
+* :mod:`repro.sim.random_streams` -- reproducible named random streams.
+* :mod:`repro.sim.stats` -- output statistics (Welford accumulators,
+  time-weighted averages, batch means, confidence intervals).
+* :mod:`repro.sim.simulation` -- the anycast admission-control
+  simulation model built on top of the engine.
+* :mod:`repro.sim.metrics` -- metric collection for simulation runs.
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.process import Process, Signal, hold, wait
+from repro.sim.random_streams import RandomStream, StreamFactory
+from repro.sim.resources import Facility, Storage
+from repro.sim.stats import (
+    BatchMeans,
+    RunningStats,
+    TimeWeightedStats,
+    confidence_interval,
+)
+from repro.sim.trace import FlowRecord, TraceRecorder
+
+# FaultConfig and the simulation classes live in repro.sim.simulation;
+# importing them here would recreate the sim <-> core import cycle, so
+# they are re-exported lazily.
+def __getattr__(name):
+    if name in ("AnycastSimulation", "FaultConfig", "run_simulation"):
+        from repro.sim import simulation
+
+        return getattr(simulation, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+
+
+__all__ = [
+    "BatchMeans",
+    "Event",
+    "Facility",
+    "FlowRecord",
+    "Process",
+    "RandomStream",
+    "RunningStats",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Storage",
+    "StreamFactory",
+    "TimeWeightedStats",
+    "TraceRecorder",
+    "confidence_interval",
+    "hold",
+    "wait",
+]

@@ -1,0 +1,288 @@
+"""Event calendar and simulation clock.
+
+This module is the foundation of the CSIM-equivalent substrate: a
+classic event-scheduled discrete-event simulator.  Time is a float in
+arbitrary units (the anycast model uses seconds).  Events are callbacks
+scheduled at absolute times and executed in non-decreasing time order;
+ties are broken by insertion order so runs are fully deterministic.
+
+Two pending-event set implementations are available: a binary heap
+(default; O(log n), simple and cache-friendly) and Brown's calendar
+queue (:mod:`repro.sim.calendar`; amortized O(1) for stationary event
+populations).  Both produce identical execution orders.
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> handle = sim.schedule(2.0, lambda: fired.append(sim.now))
+>>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+>>> sim.run()
+>>> fired
+[1.0, 2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used inconsistently.
+
+    Examples include scheduling an event in the past or running a
+    simulator that has already been stopped and drained.
+    """
+
+
+class Event:
+    """A scheduled callback, returned by :meth:`Simulator.schedule`.
+
+    Events support O(1) cancellation: cancelling marks the event dead
+    and the event loop skips it when it surfaces in the queue.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time at which the callback fires.
+    callback:
+        Zero-argument callable invoked at ``time``.
+    """
+
+    __slots__ = ("time", "callback", "_sequence", "_cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], Any], sequence: int):
+        self.time = time
+        self.callback = callback
+        self._sequence = sequence
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self._sequence < other._sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time:.6g}, {state})"
+
+
+class HeapQueue:
+    """Binary-heap pending-event set (the default)."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(self._heap, event)
+
+    def pop_min(self) -> Optional[Event]:
+        """Remove and return the earliest live event (``None`` if empty)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def live_count(self) -> int:
+        """Number of pending, not-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+
+def _make_queue(kind: str):
+    if kind == "heap":
+        return HeapQueue()
+    if kind == "calendar":
+        from repro.sim.calendar import CalendarQueue
+
+        return CalendarQueue()
+    raise SimulationError(f"unknown queue kind {kind!r}; use 'heap' or 'calendar'")
+
+
+class Simulator:
+    """Deterministic event-scheduled discrete-event simulator.
+
+    The simulator maintains a pending-event set of :class:`Event`
+    objects.  :meth:`run` repeatedly pops the earliest event, advances
+    the clock to its timestamp and invokes its callback.  Callbacks may
+    schedule further events.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (default ``0.0``).
+    queue:
+        Pending-event set implementation: ``"heap"`` (default) or
+        ``"calendar"`` (Brown's calendar queue).  Execution order is
+        identical; only the performance profile differs.
+    """
+
+    def __init__(self, start_time: float = 0.0, queue: str = "heap"):
+        self._now = float(start_time)
+        self._queue = _make_queue(queue)
+        self._sequence = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # clock and queue inspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of event callbacks executed so far."""
+        return self._events_executed
+
+    @property
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return self._queue.live_count()
+
+    def peek(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        return self._queue.peek_time()
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Parameters
+        ----------
+        delay:
+            Non-negative offset from the current clock.
+        callback:
+            Zero-argument callable.
+
+        Returns
+        -------
+        Event
+            Handle that may be used to cancel the event.
+
+        Raises
+        ------
+        SimulationError
+            If ``delay`` is negative or not finite.
+        """
+        return self.schedule_at(self._now + float(delay), callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``.
+
+        ``time`` must not precede the current clock.
+        """
+        time = float(time)
+        if time != time or time == float("inf"):  # NaN or +inf
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time, callback, next(self._sequence))
+        self._queue.push(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest pending event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the
+            calendar was empty.
+        """
+        event = self._queue.pop_min()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_executed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly
+            after ``until`` and advance the clock to exactly ``until``.
+            Events scheduled at ``until`` itself *are* executed.
+        max_events:
+            Optional hard cap on the number of events to execute, a
+            guard against accidental infinite event cascades.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop_min()
+                assert event is not None  # peek just saw it
+                self._now = event.time
+                self._events_executed += 1
+                event.callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Cancel all pending events and empty the calendar."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6g}, pending={self.pending_count}, "
+            f"executed={self._events_executed})"
+        )

@@ -1,0 +1,223 @@
+"""Generator-based processes in the style of CSIM.
+
+CSIM models systems as *processes* that ``hold`` for simulated time and
+``wait`` on events.  This module offers the same vocabulary on top of
+:class:`repro.sim.engine.Simulator`: a :class:`Process` wraps a Python
+generator; the generator yields :class:`Hold` or :class:`Wait` commands
+and the scheduler resumes it when the corresponding condition is met.
+
+Example
+-------
+>>> from repro.sim.engine import Simulator
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     yield hold(1.5)
+...     log.append(sim.now)
+...     yield hold(0.5)
+...     log.append(sim.now)
+>>> _ = Process(sim, worker())
+>>> sim.run()
+>>> log
+[1.5, 2.0]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class Hold:
+    """Command: suspend the process for ``delay`` simulated time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"hold delay must be non-negative, got {delay}")
+        self.delay = float(delay)
+
+
+class Wait:
+    """Command: suspend the process until ``signal`` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: "Signal"):
+        self.signal = signal
+
+
+def hold(delay: float) -> Hold:
+    """Return a :class:`Hold` command (CSIM ``hold(t)``)."""
+    return Hold(delay)
+
+
+def wait(signal: "Signal") -> Wait:
+    """Return a :class:`Wait` command (CSIM ``wait(ev)``)."""
+    return Wait(signal)
+
+
+class Signal:
+    """A broadcast condition processes can wait on (CSIM *event*).
+
+    :meth:`fire` resumes every waiting process at the current
+    simulation time, passing an optional payload as the value of the
+    ``yield`` expression.
+
+    Parameters
+    ----------
+    latch:
+        With the default edge-triggered semantics a process that
+        starts waiting *after* the fire sleeps until the next fire.
+        A latched signal instead stays "set" once fired: late waiters
+        resume immediately (with the most recent payload).  Process
+        termination and completion conditions use latched signals.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "", latch: bool = False):
+        self._sim = sim
+        self.name = name
+        self.latch = latch
+        self._waiters: list[Process] = []
+        self._fired_count = 0
+        self._last_payload: Any = None
+
+    @property
+    def waiter_count(self) -> int:
+        """Number of processes currently blocked on this signal."""
+        return len(self._waiters)
+
+    @property
+    def fired_count(self) -> int:
+        """Number of times :meth:`fire` has been called."""
+        return self._fired_count
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all waiters; returns the number of processes resumed."""
+        self._fired_count += 1
+        self._last_payload = payload
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0.0, lambda p=process: p._resume(payload))
+        return len(waiters)
+
+    def _enlist(self, process: "Process") -> None:
+        if self.latch and self._fired_count > 0:
+            payload = self._last_payload
+            self._sim.schedule(0.0, lambda: process._resume(payload))
+            return
+        self._waiters.append(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, waiters={len(self._waiters)})"
+
+
+class Process:
+    """A simulated process driven by a Python generator.
+
+    The generator may yield:
+
+    * ``hold(t)`` -- advance this process by ``t`` simulated time units;
+    * ``wait(signal)`` -- block until the signal fires; the ``yield``
+      evaluates to the payload passed to :meth:`Signal.fire`;
+    * a bare ``float``/``int`` -- shorthand for ``hold(value)``.
+
+    The process starts automatically at the current simulation time
+    unless ``start_delay`` is given.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+        start_delay: float = 0.0,
+    ):
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self._alive = True
+        self._terminated_signal: Optional[Signal] = None
+        sim.schedule(start_delay, lambda: self._resume(None))
+
+    @property
+    def alive(self) -> bool:
+        """``True`` until the generator is exhausted or interrupted."""
+        return self._alive
+
+    def terminated(self) -> Signal:
+        """Latched signal fired when this process finishes."""
+        if self._terminated_signal is None:
+            self._terminated_signal = Signal(
+                self._sim, f"{self.name}.terminated", latch=True
+            )
+            if not self._alive:
+                self._terminated_signal.fire()
+        return self._terminated_signal
+
+    def interrupt(self) -> None:
+        """Kill the process; the generator's ``close()`` is invoked."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._generator.close()
+        if self._terminated_signal is not None:
+            self._terminated_signal.fire()
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        try:
+            command = self._generator.send(value)
+        except StopIteration:
+            self._finish()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Hold):
+            self._sim.schedule(command.delay, lambda: self._resume(None))
+        elif isinstance(command, Wait):
+            command.signal._enlist(self)
+        elif isinstance(command, (int, float)):
+            self._sim.schedule(float(command), lambda: self._resume(None))
+        else:
+            self._alive = False
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self) -> None:
+        self._alive = False
+        if self._terminated_signal is not None:
+            self._terminated_signal.fire()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+def all_of(sim: Simulator, processes: Iterable[Process]) -> Signal:
+    """Return a latched signal that fires once every process terminated."""
+    processes = list(processes)
+    done = Signal(sim, "all_of", latch=True)
+    if not processes:
+        done.fire()
+        return done
+
+    state = {"remaining": len(processes)}
+
+    def make_waiter(process: Process):
+        def waiter():
+            yield wait(process.terminated())
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                done.fire()
+
+        return waiter()
+
+    for process in processes:
+        Process(sim, make_waiter(process), name="all_of.waiter")
+    return done

@@ -1,0 +1,163 @@
+"""Reproducible named random streams.
+
+CSIM gives each stochastic component its own random stream so that
+changing one part of a model does not perturb the variate sequences of
+the others (common random numbers).  We reproduce this with numpy's
+``SeedSequence`` spawning: a :class:`StreamFactory` holds a root seed
+and derives an independent, deterministic child stream for every
+*name*, so the arrival process, the lifetime sampler, the source
+chooser and each AC-router's selection dice all have their own streams.
+
+Identical ``(root_seed, name)`` pairs always produce identical variate
+sequences, which makes whole experiments bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def _name_to_entropy(name: str) -> int:
+    """Hash a stream name to a stable 128-bit integer."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+class RandomStream:
+    """A single named random stream with distribution helpers.
+
+    Thin wrapper over :class:`numpy.random.Generator` exposing exactly
+    the variates the anycast model needs, with validation.
+    """
+
+    def __init__(self, seed_sequence: np.random.SeedSequence, name: str = ""):
+        self.name = name
+        self._generator = np.random.Generator(np.random.PCG64(seed_sequence))
+        self.draws = 0
+
+    def exponential(self, mean: float) -> float:
+        """Sample an exponential variate with the given mean."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        self.draws += 1
+        return float(self._generator.exponential(mean))
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Sample uniformly from ``[low, high)``."""
+        if high < low:
+            raise ValueError(f"need low <= high, got [{low}, {high})")
+        self.draws += 1
+        return float(self._generator.uniform(low, high))
+
+    def integer(self, low: int, high: int) -> int:
+        """Sample an integer uniformly from ``[low, high]`` inclusive."""
+        if high < low:
+            raise ValueError(f"need low <= high, got [{low}, {high}]")
+        self.draws += 1
+        return int(self._generator.integers(low, high + 1))
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one item uniformly."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        self.draws += 1
+        return items[int(self._generator.integers(0, len(items)))]
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one item with probability proportional to its weight.
+
+        Weights must be non-negative with a positive sum; they are
+        normalized internally, so callers may pass unnormalized values.
+        """
+        if len(items) != len(weights):
+            raise ValueError(
+                f"{len(items)} items but {len(weights)} weights"
+            )
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        total = 0.0
+        for weight in weights:
+            if weight < 0:
+                raise ValueError(f"negative weight {weight}")
+            total += weight
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.draws += 1
+        point = self._generator.uniform(0.0, total)
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if point < acc:
+                return item
+        return items[-1]  # guard against floating-point edge at total
+
+    def shuffle(self, items: list) -> None:
+        """Shuffle ``items`` in place."""
+        self.draws += 1
+        self._generator.shuffle(items)
+
+    def poisson(self, mean: float) -> int:
+        """Sample a Poisson count with the given mean."""
+        if mean < 0:
+            raise ValueError(f"poisson mean must be non-negative, got {mean}")
+        self.draws += 1
+        return int(self._generator.poisson(mean))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomStream({self.name!r}, draws={self.draws})"
+
+
+class StreamFactory:
+    """Derives independent named :class:`RandomStream` objects.
+
+    Parameters
+    ----------
+    root_seed:
+        Experiment-level seed.  Every stream name deterministically
+        maps to its own child seed, so two factories with the same root
+        seed hand out identical streams for identical names.
+    """
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+        self._issued: dict[str, RandomStream] = {}
+
+    def stream(self, name: str) -> RandomStream:
+        """Return the stream for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* stream
+        object (its internal state advances as it is used).
+        """
+        existing = self._issued.get(name)
+        if existing is not None:
+            return existing
+        seed_sequence = np.random.SeedSequence(
+            entropy=self.root_seed, spawn_key=(_name_to_entropy(name),)
+        )
+        stream = RandomStream(seed_sequence, name=name)
+        self._issued[name] = stream
+        return stream
+
+    def fresh(self, name: str, replication: int = 0) -> RandomStream:
+        """Return a *new* stream for (name, replication).
+
+        Unlike :meth:`stream`, this always constructs a fresh stream;
+        useful for independent replications of the same experiment.
+        """
+        seed_sequence = np.random.SeedSequence(
+            entropy=self.root_seed,
+            spawn_key=(_name_to_entropy(name), int(replication)),
+        )
+        return RandomStream(seed_sequence, name=f"{name}#{replication}")
+
+    def issued_names(self) -> list[str]:
+        """Names of all streams created so far, in creation order."""
+        return list(self._issued)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamFactory(seed={self.root_seed}, streams={len(self._issued)})"

@@ -1,0 +1,195 @@
+"""Counting resources and facilities (CSIM ``storage``/``facility``).
+
+Two resource abstractions used by simulation models:
+
+* :class:`Storage` -- a counting resource with a fixed capacity of
+  homogeneous units.  Requests either succeed immediately, fail
+  immediately (loss systems, as in admission control), or queue
+  (waiting systems).  Link bandwidth in the anycast model is a loss
+  resource: a flow that cannot get its bandwidth is rejected, it never
+  queues.
+* :class:`Facility` -- a single- or multi-server station with a FIFO
+  queue, useful for modelling signalling processors and other
+  serialized resources.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.stats import TimeWeightedStats
+
+
+class Storage:
+    """A counting resource with ``capacity`` homogeneous units.
+
+    The anycast admission model treats link bandwidth as a *loss*
+    resource, so the primary interface is :meth:`try_acquire` /
+    :meth:`release`, which never block.  Occupancy over time is tracked
+    with a time-weighted statistic so utilization can be reported.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator (used for time-weighted occupancy stats).
+    capacity:
+        Total number of units.
+    name:
+        Diagnostic label.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = ""):
+        if capacity < 0:
+            raise SimulationError(f"capacity must be non-negative, got {capacity}")
+        self._sim = sim
+        self.name = name
+        self._capacity = float(capacity)
+        self._in_use = 0.0
+        self._occupancy = TimeWeightedStats(clock=lambda: sim.now)
+        self._occupancy.record(0.0)
+        self.acquire_successes = 0
+        self.acquire_failures = 0
+
+    @property
+    def capacity(self) -> float:
+        """Total units in the resource."""
+        return self._capacity
+
+    @property
+    def in_use(self) -> float:
+        """Units currently held."""
+        return self._in_use
+
+    @property
+    def available(self) -> float:
+        """Units free for new acquisitions."""
+        return self._capacity - self._in_use
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Acquire ``amount`` units if available; never blocks.
+
+        Returns ``True`` on success.  On failure the resource is left
+        untouched and the failure counter is incremented.
+        """
+        if amount < 0:
+            raise SimulationError(f"amount must be non-negative, got {amount}")
+        if self._in_use + amount > self._capacity + 1e-9:
+            self.acquire_failures += 1
+            return False
+        self._in_use += amount
+        self._occupancy.record(self._in_use)
+        self.acquire_successes += 1
+        return True
+
+    def release(self, amount: float = 1.0) -> None:
+        """Return ``amount`` units to the pool."""
+        if amount < 0:
+            raise SimulationError(f"amount must be non-negative, got {amount}")
+        if amount > self._in_use + 1e-9:
+            raise SimulationError(
+                f"storage {self.name!r}: releasing {amount} but only "
+                f"{self._in_use} in use"
+            )
+        self._in_use = max(0.0, self._in_use - amount)
+        self._occupancy.record(self._in_use)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Time-weighted mean units in use since creation."""
+        return self._occupancy.mean
+
+    @property
+    def utilization(self) -> float:
+        """Time-weighted mean fraction of capacity in use."""
+        if self._capacity == 0:
+            return 0.0
+        return self._occupancy.mean / self._capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Storage({self.name!r}, {self._in_use:g}/{self._capacity:g} in use)"
+        )
+
+
+class Facility:
+    """A multi-server FIFO station (CSIM ``facility``).
+
+    Customers are callbacks: :meth:`request` enqueues a service demand
+    of ``service_time``; when a server becomes free the demand occupies
+    it for that long and ``on_complete`` fires at departure.
+
+    This is used by the RSVP-lite signalling model to serialize
+    message processing at routers.
+    """
+
+    def __init__(self, sim: Simulator, servers: int = 1, name: str = ""):
+        if servers < 1:
+            raise SimulationError(f"facility needs >= 1 server, got {servers}")
+        self._sim = sim
+        self.name = name
+        self._servers = servers
+        self._busy = 0
+        self._queue: deque[tuple[float, Optional[Callable[[], None]]]] = deque()
+        self.completed = 0
+        self._busy_stats = TimeWeightedStats(clock=lambda: sim.now)
+        self._busy_stats.record(0.0)
+
+    @property
+    def servers(self) -> int:
+        """Number of servers."""
+        return self._servers
+
+    @property
+    def busy(self) -> int:
+        """Servers currently serving."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Demands waiting for a server."""
+        return len(self._queue)
+
+    @property
+    def utilization(self) -> float:
+        """Time-weighted mean fraction of servers busy."""
+        return self._busy_stats.mean / self._servers
+
+    def request(
+        self, service_time: float, on_complete: Optional[Callable[[], None]] = None
+    ) -> None:
+        """Submit a demand for ``service_time`` units of service."""
+        if service_time < 0:
+            raise SimulationError(
+                f"service time must be non-negative, got {service_time}"
+            )
+        if self._busy < self._servers:
+            self._start(service_time, on_complete)
+        else:
+            self._queue.append((service_time, on_complete))
+
+    def _start(
+        self, service_time: float, on_complete: Optional[Callable[[], None]]
+    ) -> None:
+        self._busy += 1
+        self._busy_stats.record(self._busy)
+        self._sim.schedule(
+            service_time, lambda: self._finish(on_complete)
+        )
+
+    def _finish(self, on_complete: Optional[Callable[[], None]]) -> None:
+        self._busy -= 1
+        self._busy_stats.record(self._busy)
+        self.completed += 1
+        if self._queue:
+            service_time, callback = self._queue.popleft()
+            self._start(service_time, callback)
+        if on_complete is not None:
+            on_complete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Facility({self.name!r}, busy={self._busy}/{self._servers}, "
+            f"queued={len(self._queue)})"
+        )

@@ -1,0 +1,178 @@
+"""Per-flow trace records for simulation post-analysis.
+
+The aggregate metrics of :mod:`repro.sim.metrics` answer the paper's
+questions; debugging a selection algorithm or studying fairness needs
+the underlying per-request records.  :class:`TraceRecorder` captures
+one :class:`FlowRecord` per admission decision (bounded, FIFO-evicting
+so long runs cannot exhaust memory) and offers simple queries plus CSV
+export.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - break the sim <-> core cycle
+    from repro.core.admission import AdmissionResult
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One admission decision, flattened for analysis.
+
+    Attributes
+    ----------
+    flow_id, source:
+        Request identity.
+    arrival_time:
+        When the request arrived.
+    admitted:
+        Decision outcome.
+    destination:
+        Selected member (``None`` if rejected).
+    hop_count:
+        Route length of the admitted flow (0 if rejected).
+    attempts:
+        Destinations tried.
+    tried:
+        The tried destinations in order.
+    lifetime_s:
+        Requested holding time (``None`` for open-ended flows).
+    """
+
+    flow_id: int
+    source: NodeId
+    arrival_time: float
+    admitted: bool
+    destination: Optional[NodeId]
+    hop_count: int
+    attempts: int
+    tried: tuple
+    lifetime_s: Optional[float]
+
+    @classmethod
+    def from_result(cls, result: "AdmissionResult") -> "FlowRecord":
+        """Flatten an :class:`AdmissionResult`."""
+        flow = result.flow
+        return cls(
+            flow_id=result.request.flow_id,
+            source=result.request.source,
+            arrival_time=result.request.arrival_time,
+            admitted=result.admitted,
+            destination=flow.destination if flow else None,
+            hop_count=flow.hop_count if flow else 0,
+            attempts=result.attempts,
+            tried=result.tried,
+            lifetime_s=result.request.lifetime_s,
+        )
+
+
+#: Columns of the CSV export, in order.
+CSV_COLUMNS = (
+    "flow_id",
+    "source",
+    "arrival_time",
+    "admitted",
+    "destination",
+    "hop_count",
+    "attempts",
+    "tried",
+    "lifetime_s",
+)
+
+
+class TraceRecorder:
+    """Bounded FIFO store of :class:`FlowRecord` objects.
+
+    Parameters
+    ----------
+    max_records:
+        Oldest records are evicted beyond this bound (default one
+        million, ~100 MB worst case).
+    """
+
+    def __init__(self, max_records: int = 1_000_000):
+        if max_records < 1:
+            raise ValueError(f"max records must be >= 1, got {max_records}")
+        self._records: deque[FlowRecord] = deque(maxlen=max_records)
+        self.total_seen = 0
+
+    def record(self, result: "AdmissionResult") -> FlowRecord:
+        """Append the record for one admission decision."""
+        record = FlowRecord.from_result(result)
+        self._records.append(record)
+        self.total_seen += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self._records)
+
+    @property
+    def evicted(self) -> int:
+        """Records discarded by the FIFO bound."""
+        return self.total_seen - len(self._records)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def admitted(self) -> list[FlowRecord]:
+        """Records of admitted flows."""
+        return [r for r in self._records if r.admitted]
+
+    def rejected(self) -> list[FlowRecord]:
+        """Records of rejected requests."""
+        return [r for r in self._records if not r.admitted]
+
+    def by_source(self, source: NodeId) -> list[FlowRecord]:
+        """Records originating at ``source``."""
+        return [r for r in self._records if r.source == source]
+
+    def by_destination(self, destination: NodeId) -> list[FlowRecord]:
+        """Admitted records terminating at ``destination``."""
+        return [r for r in self._records if r.destination == destination]
+
+    def admission_probability(self) -> float:
+        """AP over the retained records (0 when empty)."""
+        if not self._records:
+            return 0.0
+        return sum(1 for r in self._records if r.admitted) / len(self._records)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialize all retained records as CSV.
+
+        Writes to ``path`` if given; always returns the CSV text.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(CSV_COLUMNS)
+        for r in self._records:
+            writer.writerow(
+                [
+                    r.flow_id,
+                    r.source,
+                    f"{r.arrival_time:.6f}",
+                    int(r.admitted),
+                    "" if r.destination is None else r.destination,
+                    r.hop_count,
+                    r.attempts,
+                    "|".join(str(t) for t in r.tried),
+                    "" if r.lifetime_s is None else f"{r.lifetime_s:.6f}",
+                ]
+            )
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text

@@ -1,0 +1,161 @@
+"""Unit tests for the Kaufman-Roberts multirate analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.erlang import erlang_b
+from repro.analysis.multirate import (
+    TrafficClass,
+    analyze_link,
+    class_blocking,
+    occupancy_distribution,
+    single_class_check,
+)
+
+
+class TestTrafficClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficClass(load_erlangs=-1.0, slots=1)
+        with pytest.raises(ValueError):
+            TrafficClass(load_erlangs=1.0, slots=0)
+
+
+class TestOccupancyDistribution:
+    def test_sums_to_one(self):
+        classes = [TrafficClass(3.0, 1), TrafficClass(1.0, 4)]
+        distribution = occupancy_distribution(20, classes)
+        assert math.fsum(distribution) == pytest.approx(1.0)
+        assert all(q >= 0 for q in distribution)
+
+    def test_empty_link(self):
+        distribution = occupancy_distribution(5, [])
+        assert distribution == [1.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+
+    def test_zero_capacity(self):
+        distribution = occupancy_distribution(0, [TrafficClass(2.0, 1)])
+        assert distribution == [1.0]
+
+    def test_single_class_matches_erlang_distribution(self):
+        # With one single-slot class the occupancy is truncated Poisson.
+        load, capacity = 4.0, 8
+        distribution = occupancy_distribution(capacity, [TrafficClass(load, 1)])
+        weights = [load**n / math.factorial(n) for n in range(capacity + 1)]
+        total = sum(weights)
+        for ours, expected in zip(distribution, weights):
+            assert ours == pytest.approx(expected / total, rel=1e-9)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy_distribution(-1, [])
+
+
+class TestClassBlocking:
+    def test_single_class_equals_erlang_b(self):
+        for load, capacity in ((2.0, 5), (8.0, 10), (300.0, 312)):
+            assert single_class_check(capacity, load) == pytest.approx(
+                erlang_b(load, capacity), rel=1e-9
+            )
+
+    def test_wider_class_blocks_more(self):
+        classes = [TrafficClass(2.0, 1, "thin"), TrafficClass(2.0, 4, "wide")]
+        thin, wide = class_blocking(12, classes)
+        assert wide > thin
+
+    def test_blocking_bounded(self):
+        classes = [TrafficClass(100.0, 3), TrafficClass(50.0, 1)]
+        for value in class_blocking(10, classes):
+            assert 0.0 <= value <= 1.0
+
+    def test_class_larger_than_link_always_blocked(self):
+        classes = [TrafficClass(1.0, 8)]
+        (blocked,) = class_blocking(5, classes)
+        assert blocked == pytest.approx(1.0)
+
+    def test_zero_load_classes_never_blocked_on_empty_link(self):
+        classes = [TrafficClass(0.0, 2)]
+        (blocked,) = class_blocking(10, classes)
+        assert blocked == 0.0
+
+    def test_monotone_in_background_load(self):
+        """More background traffic can only hurt the foreground class."""
+        def fg_blocking(background_load):
+            classes = [
+                TrafficClass(2.0, 1, "fg"),
+                TrafficClass(background_load, 5, "bg"),
+            ]
+            return class_blocking(15, classes)[0]
+
+        values = [fg_blocking(load) for load in (0.0, 1.0, 3.0, 6.0)]
+        assert values == sorted(values)
+
+
+class TestAnalyzeLink:
+    def test_report_fields(self):
+        classes = [TrafficClass(4.0, 1), TrafficClass(1.0, 3)]
+        report = analyze_link(16, classes)
+        assert report.capacity == 16
+        assert len(report.blocking) == 2
+        assert 0.0 < report.utilization < 1.0
+
+    def test_utilization_tracks_load(self):
+        light = analyze_link(20, [TrafficClass(2.0, 1)])
+        heavy = analyze_link(20, [TrafficClass(15.0, 1)])
+        assert heavy.utilization > light.utilization
+
+    def test_carried_load_consistency(self):
+        """Utilization equals carried load / capacity (single class)."""
+        load, capacity = 12.0, 20
+        report = analyze_link(capacity, [TrafficClass(load, 1)])
+        carried = load * (1.0 - report.blocking[0])
+        assert report.utilization == pytest.approx(carried / capacity, rel=1e-9)
+
+
+class TestAgainstSimulation:
+    def test_two_class_blocking_matches_simulation(self):
+        """Cross-validate Kaufman-Roberts with a two-class loss sim."""
+        from repro.sim.engine import Simulator
+        from repro.sim.random_streams import StreamFactory
+
+        capacity = 12
+        classes = [TrafficClass(3.0, 1, "thin"), TrafficClass(1.2, 4, "wide")]
+        expected = class_blocking(capacity, classes)
+
+        sim = Simulator()
+        streams = StreamFactory(99)
+        state = {"used": 0}
+        counts = {cls.name: [0, 0] for cls in classes}  # [offered, blocked]
+
+        def arrival(cls: TrafficClass, rate: float):
+            stream = streams.stream(f"arr.{cls.name}")
+            hold = streams.stream(f"hold.{cls.name}")
+
+            def handle():
+                if sim.now > 500.0:
+                    return
+                counts[cls.name][0] += 1
+                if state["used"] + cls.slots <= capacity:
+                    state["used"] += cls.slots
+                    sim.schedule(
+                        hold.exponential(1.0),
+                        lambda: state.__setitem__(
+                            "used", state["used"] - cls.slots
+                        ),
+                    )
+                else:
+                    counts[cls.name][1] += 1
+                sim.schedule(stream.exponential(1.0 / rate), handle)
+
+            sim.schedule(stream.exponential(1.0 / rate), handle)
+
+        for cls in classes:
+            arrival(cls, cls.load_erlangs)  # mu = 1 => rate == load
+        sim.run(until=500.0)
+
+        for cls, expected_blocking in zip(classes, expected):
+            offered, blocked = counts[cls.name]
+            assert offered > 300
+            assert blocked / offered == pytest.approx(
+                expected_blocking, abs=0.05
+            )

@@ -1,0 +1,106 @@
+"""Exact CTMC validation of the Kaufman-Roberts recursion.
+
+For a single link shared by two Poisson classes under complete
+sharing, the joint occupancy process (n1, n2) is a reversible CTMC
+whose stationary distribution can be computed exactly by solving the
+balance equations over the (small) truncated state space.  The
+Kaufman-Roberts recursion must reproduce the *aggregate* occupancy
+distribution and the per-class blocking probabilities exactly — a much
+stronger check than the Monte-Carlo comparison elsewhere in the suite.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.multirate import (
+    TrafficClass,
+    class_blocking,
+    occupancy_distribution,
+)
+
+
+def exact_two_class_distribution(capacity, load1, slots1, load2, slots2):
+    """Stationary distribution of the exact joint CTMC.
+
+    Classes have arrival rates a_k (mu_k = 1, so rate == load) and hold
+    slots_k servers.  State (n1, n2) is feasible iff
+    n1*slots1 + n2*slots2 <= capacity.
+    """
+    states = [
+        (n1, n2)
+        for n1 in range(capacity // slots1 + 1)
+        for n2 in range(capacity // slots2 + 1)
+        if n1 * slots1 + n2 * slots2 <= capacity
+    ]
+    index = {state: i for i, state in enumerate(states)}
+    size = len(states)
+    generator = np.zeros((size, size))
+    for (n1, n2), i in index.items():
+        # class-1 arrival
+        if (n1 + 1) * slots1 + n2 * slots2 <= capacity:
+            generator[i, index[(n1 + 1, n2)]] += load1
+        # class-2 arrival
+        if n1 * slots1 + (n2 + 1) * slots2 <= capacity:
+            generator[i, index[(n1, n2 + 1)]] += load2
+        # departures (mu = 1 per flow)
+        if n1 > 0:
+            generator[i, index[(n1 - 1, n2)]] += n1
+        if n2 > 0:
+            generator[i, index[(n1, n2 - 1)]] += n2
+    np.fill_diagonal(generator, -generator.sum(axis=1))
+    # Solve pi Q = 0 with normalization.
+    a = np.vstack([generator.T, np.ones(size)])
+    b = np.zeros(size + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    return states, pi
+
+
+CASES = [
+    # (capacity, load1, slots1, load2, slots2)
+    (6, 1.5, 1, 0.8, 2),
+    (10, 3.0, 1, 1.0, 4),
+    (8, 2.0, 2, 2.0, 3),
+    (12, 5.0, 1, 0.5, 6),
+]
+
+
+@pytest.mark.parametrize("capacity,load1,slots1,load2,slots2", CASES)
+class TestExactAgreement:
+    def test_aggregate_occupancy_matches(
+        self, capacity, load1, slots1, load2, slots2
+    ):
+        states, pi = exact_two_class_distribution(
+            capacity, load1, slots1, load2, slots2
+        )
+        kr = occupancy_distribution(
+            capacity,
+            [TrafficClass(load1, slots1), TrafficClass(load2, slots2)],
+        )
+        aggregate = np.zeros(capacity + 1)
+        for (n1, n2), probability in zip(states, pi):
+            aggregate[n1 * slots1 + n2 * slots2] += probability
+        for n in range(capacity + 1):
+            assert kr[n] == pytest.approx(aggregate[n], abs=1e-9), n
+
+    def test_per_class_blocking_matches(
+        self, capacity, load1, slots1, load2, slots2
+    ):
+        states, pi = exact_two_class_distribution(
+            capacity, load1, slots1, load2, slots2
+        )
+        kr_block = class_blocking(
+            capacity,
+            [TrafficClass(load1, slots1), TrafficClass(load2, slots2)],
+        )
+        exact_block = [0.0, 0.0]
+        for (n1, n2), probability in zip(states, pi):
+            used = n1 * slots1 + n2 * slots2
+            if used + slots1 > capacity:
+                exact_block[0] += probability
+            if used + slots2 > capacity:
+                exact_block[1] += probability
+        assert kr_block[0] == pytest.approx(exact_block[0], abs=1e-9)
+        assert kr_block[1] == pytest.approx(exact_block[1], abs=1e-9)

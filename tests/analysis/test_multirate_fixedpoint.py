@@ -1,0 +1,228 @@
+"""Unit tests for the multirate reduced-load solver."""
+
+import pytest
+
+from repro.analysis.erlang import erlang_b
+from repro.analysis.fixedpoint import ReducedLoadSolver, RouteLoad
+from repro.analysis.multirate import TrafficClass, class_blocking
+from repro.analysis.multirate_fixedpoint import (
+    ClassedRouteLoad,
+    MultirateReducedLoadSolver,
+)
+
+
+class TestClassedRouteLoad:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClassedRouteLoad(links=("a",), load_erlangs=-1.0, slots=1)
+        with pytest.raises(ValueError):
+            ClassedRouteLoad(links=("a",), load_erlangs=1.0, slots=0)
+        with pytest.raises(ValueError):
+            ClassedRouteLoad(links=("a", "a"), load_erlangs=1.0, slots=1)
+
+
+class TestSolverConstruction:
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            MultirateReducedLoadSolver(
+                capacities={"a": 5},
+                routes=[ClassedRouteLoad(links=("ghost",), load_erlangs=1.0, slots=1)],
+            )
+
+    def test_inconsistent_class_slots_rejected(self):
+        with pytest.raises(ValueError):
+            MultirateReducedLoadSolver(
+                capacities={"a": 5},
+                routes=[
+                    ClassedRouteLoad(("a",), 1.0, 1, "x"),
+                    ClassedRouteLoad(("a",), 1.0, 2, "x"),
+                ],
+            )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultirateReducedLoadSolver({}, [], damping=0.0)
+        with pytest.raises(ValueError):
+            MultirateReducedLoadSolver({}, [], tolerance=0.0)
+
+
+class TestDegenerateSingleRate:
+    def test_matches_single_rate_solver(self):
+        """One single-slot class must reproduce the Erlang fixed point."""
+        capacities = {"a": 8, "b": 4}
+        single = ReducedLoadSolver(
+            capacities,
+            [
+                RouteLoad(links=("a", "b"), load_erlangs=5.0),
+                RouteLoad(links=("a",), load_erlangs=2.0),
+            ],
+        ).solve()
+        multi = MultirateReducedLoadSolver(
+            capacities,
+            [
+                ClassedRouteLoad(("a", "b"), 5.0, 1, "only"),
+                ClassedRouteLoad(("a",), 2.0, 1, "only"),
+            ],
+        ).solve()
+        assert multi.converged
+        for link in capacities:
+            assert multi.link_class_blocking[link]["only"] == pytest.approx(
+                single.link_blocking[link], abs=1e-7
+            )
+
+    def test_single_link_matches_kaufman_roberts(self):
+        classes = [
+            ClassedRouteLoad(("l",), 3.0, 1, "thin"),
+            ClassedRouteLoad(("l",), 1.0, 4, "wide"),
+        ]
+        solution = MultirateReducedLoadSolver({"l": 12}, classes).solve()
+        expected = class_blocking(
+            12, [TrafficClass(3.0, 1, "thin"), TrafficClass(1.0, 4, "wide")]
+        )
+        assert solution.link_class_blocking["l"]["thin"] == pytest.approx(
+            expected[0], abs=1e-9
+        )
+        assert solution.link_class_blocking["l"]["wide"] == pytest.approx(
+            expected[1], abs=1e-9
+        )
+
+
+class TestMultirateProperties:
+    def test_wide_class_blocks_more_on_every_link(self):
+        capacities = {"a": 10, "b": 10}
+        routes = [
+            ClassedRouteLoad(("a", "b"), 2.0, 1, "thin"),
+            ClassedRouteLoad(("a", "b"), 2.0, 4, "wide"),
+        ]
+        solution = MultirateReducedLoadSolver(capacities, routes).solve()
+        assert solution.converged
+        for link in capacities:
+            blocking = solution.link_class_blocking[link]
+            assert blocking["wide"] > blocking["thin"]
+
+    def test_route_rejection_per_class(self):
+        capacities = {"a": 10, "b": 10}
+        routes = [
+            ClassedRouteLoad(("a", "b"), 3.0, 1, "thin"),
+            ClassedRouteLoad(("a", "b"), 1.5, 4, "wide"),
+        ]
+        solution = MultirateReducedLoadSolver(capacities, routes).solve()
+        thin = solution.route_rejection(("a", "b"), "thin")
+        wide = solution.route_rejection(("a", "b"), "wide")
+        assert 0.0 < thin < wide < 1.0
+
+    def test_converges_under_overload(self):
+        routes = [
+            ClassedRouteLoad(("a", "b", "c"), 100.0, 1, "thin"),
+            ClassedRouteLoad(("a", "b", "c"), 50.0, 5, "wide"),
+        ]
+        solution = MultirateReducedLoadSolver(
+            {"a": 20, "b": 20, "c": 20}, routes
+        ).solve()
+        assert solution.converged
+        for per_class in solution.link_class_blocking.values():
+            for value in per_class.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestAgainstSimulation:
+    def test_two_class_network_matches_simulation(self):
+        """Mixed classes on the MCI backbone: analysis vs simulation.
+
+        Uses <ED,1> so the attempt distribution is just the uniform
+        weight split, per class.
+        """
+        from repro.flows.group import AnycastGroup
+        from repro.flows.traffic import TrafficModel, WorkloadSpec
+        from repro.core.system import SystemSpec
+        from repro.network.routing import RouteTable
+        from repro.network.topologies import (
+            MCI_GROUP_MEMBERS,
+            MCI_SOURCES,
+            mci_backbone,
+        )
+        from repro.sim.simulation import AnycastSimulation
+        from repro.sim.random_streams import StreamFactory
+        from repro.sim.trace import TraceRecorder
+
+        slot = 64_000.0
+        mix = ((slot, 0.8), (4 * slot, 0.2))
+        arrival_rate, lifetime = 120.0, 18.0  # paper load at lambda=12/s scale
+        group = AnycastGroup("A", MCI_GROUP_MEMBERS)
+        workload = WorkloadSpec(
+            arrival_rate=arrival_rate,
+            sources=MCI_SOURCES,
+            group=group,
+            mean_lifetime_s=lifetime,
+            bandwidth_classes=mix,
+        )
+
+        # ---- analysis ------------------------------------------------
+        network = mci_backbone()
+        capacities = {
+            (l.source, l.target): int(l.capacity_bps // slot)
+            for l in network.links()
+        }
+        routes = []
+        per_source = arrival_rate / len(MCI_SOURCES) * lifetime
+        for source in MCI_SOURCES:
+            table = RouteTable(network, source, group.members)
+            for route in table.routes():
+                links = tuple(zip(route.path, route.path[1:]))
+                for name, slots, share in (("thin", 1, 0.8), ("wide", 4, 0.2)):
+                    routes.append(
+                        ClassedRouteLoad(
+                            links,
+                            per_source * share / group.size,
+                            slots,
+                            name,
+                        )
+                    )
+        solution = MultirateReducedLoadSolver(capacities, routes).solve()
+        assert solution.converged
+
+        # Expected AP per class: average route acceptance over sources.
+        def analytic_ap(class_name):
+            total = 0.0
+            for source in MCI_SOURCES:
+                table = RouteTable(network, source, group.members)
+                for route in table.routes():
+                    links = tuple(zip(route.path, route.path[1:]))
+                    total += (
+                        1.0 - solution.route_rejection(links, class_name)
+                    ) / (len(MCI_SOURCES) * group.size)
+            return total
+
+        # ---- simulation ----------------------------------------------
+        trace = TraceRecorder()
+        simulation = AnycastSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec("ED", retrials=1),
+            workload=workload,
+            warmup_s=150.0,
+            measure_s=600.0,
+            seed=23,
+            trace=trace,
+        )
+        simulation.run()
+        model = TrafficModel(workload, StreamFactory(23))
+        max_flow_id = max(record.flow_id for record in trace)
+        bandwidth_by_id = {}
+        while model.generated_count <= max_flow_id:
+            request = model.next_request()
+            bandwidth_by_id[request.flow_id] = request.bandwidth_bps
+        stats = {"thin": [0, 0], "wide": [0, 0]}  # [offered, admitted]
+        for record in trace:
+            name = "thin" if bandwidth_by_id[record.flow_id] == slot else "wide"
+            stats[name][0] += 1
+            stats[name][1] += 1 if record.admitted else 0
+        for name in ("thin", "wide"):
+            offered, admitted = stats[name]
+            assert offered > 500
+            assert admitted / offered == pytest.approx(
+                analytic_ap(name), abs=0.05
+            ), name
+        # Wide flows must suffer more blocking.
+        assert stats["wide"][1] / stats["wide"][0] <= (
+            stats["thin"][1] / stats["thin"][0]
+        )

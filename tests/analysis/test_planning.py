@@ -1,0 +1,97 @@
+"""Unit tests for capacity planning (repro.analysis.planning)."""
+
+import pytest
+
+from repro.analysis.admission import analyze_system
+from repro.analysis.planning import max_arrival_rate, required_capacity
+from repro.core.system import SystemSpec
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topologies import MCI_GROUP_MEMBERS, MCI_SOURCES, mci_backbone
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(
+        arrival_rate=20.0,  # template; planning overrides the rate
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+    )
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SystemSpec("ED", retrials=1)
+
+
+class TestMaxArrivalRate:
+    def test_boundary_rate_hits_target(self, workload, spec):
+        network = mci_backbone()
+        target = 0.9
+        rate = max_arrival_rate(
+            network, workload, spec, target_ap=target, rate_upper_bound=200.0
+        )
+        assert rate > 0
+        from dataclasses import replace
+
+        at_boundary = analyze_system(
+            network, replace(workload, arrival_rate=rate), spec
+        ).admission_probability
+        assert at_boundary == pytest.approx(target, abs=0.01)
+
+    def test_stricter_target_means_lower_rate(self, workload, spec):
+        network = mci_backbone()
+        loose = max_arrival_rate(network, workload, spec, 0.8, 200.0)
+        strict = max_arrival_rate(network, workload, spec, 0.95, 200.0)
+        assert strict < loose
+
+    def test_trivial_target_saturates_bracket(self, workload, spec):
+        network = mci_backbone(capacity_bps=1e12)
+        rate = max_arrival_rate(network, workload, spec, 0.5, rate_upper_bound=50.0)
+        assert rate == 50.0
+
+    def test_validation(self, workload, spec):
+        network = mci_backbone()
+        with pytest.raises(ValueError):
+            max_arrival_rate(network, workload, spec, target_ap=0.0)
+        with pytest.raises(ValueError):
+            max_arrival_rate(network, workload, spec, 0.9, rate_upper_bound=0.0)
+
+
+class TestRequiredCapacity:
+    def test_minimal_capacity_meets_target(self, workload, spec):
+        builder = lambda capacity: mci_backbone(capacity_bps=capacity)
+        target = 0.95
+        slots = required_capacity(builder, workload, spec, target, max_slots=4000)
+        network_ok = builder(slots * workload.bandwidth_bps)
+        network_small = builder((slots - 1) * workload.bandwidth_bps)
+        assert (
+            analyze_system(network_ok, workload, spec).admission_probability
+            >= target
+        )
+        assert (
+            analyze_system(network_small, workload, spec).admission_probability
+            < target
+        )
+
+    def test_higher_demand_needs_more_capacity(self, spec):
+        builder = lambda capacity: mci_backbone(capacity_bps=capacity)
+        group = AnycastGroup("A", MCI_GROUP_MEMBERS)
+        light = WorkloadSpec(arrival_rate=10.0, sources=MCI_SOURCES, group=group)
+        heavy = WorkloadSpec(arrival_rate=40.0, sources=MCI_SOURCES, group=group)
+        assert required_capacity(
+            builder, heavy, spec, 0.9, max_slots=4000
+        ) > required_capacity(builder, light, spec, 0.9, max_slots=4000)
+
+    def test_unreachable_target_raises(self, workload, spec):
+        # Capacity can't fix a group member behind a zero-capacity cap.
+        builder = lambda capacity: mci_backbone(capacity_bps=capacity)
+        with pytest.raises(ValueError):
+            required_capacity(builder, workload, spec, 0.99999999, max_slots=1)
+
+    def test_validation(self, workload, spec):
+        builder = lambda capacity: mci_backbone(capacity_bps=capacity)
+        with pytest.raises(ValueError):
+            required_capacity(builder, workload, spec, 1.5)
+        with pytest.raises(ValueError):
+            required_capacity(builder, workload, spec, 0.9, max_slots=0)

@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.group import AnycastGroup
+from repro.flows.qos import QoSRequirement
+from repro.flows.flow import FlowRequest
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topologies import (
+    MCI_GROUP_MEMBERS,
+    MCI_SOURCES,
+    line,
+    mci_backbone,
+    star,
+)
+from repro.network.topology import Network
+from repro.sim.engine import Simulator
+from repro.sim.random_streams import StreamFactory
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> StreamFactory:
+    return StreamFactory(12345)
+
+
+@pytest.fixture
+def mci() -> Network:
+    return mci_backbone()
+
+
+@pytest.fixture
+def mci_group() -> AnycastGroup:
+    return AnycastGroup("A", MCI_GROUP_MEMBERS)
+
+
+@pytest.fixture
+def mci_workload(mci_group) -> WorkloadSpec:
+    return WorkloadSpec(
+        arrival_rate=20.0, sources=MCI_SOURCES, group=mci_group
+    )
+
+
+@pytest.fixture
+def tiny_network() -> Network:
+    """A 4-node line 0-1-2-3 with 10 trunk slots of 64 kbit/s each."""
+    return line(4, capacity_bps=10 * 64_000.0)
+
+
+@pytest.fixture
+def tiny_group() -> AnycastGroup:
+    """Group at both ends reachable from node 1."""
+    return AnycastGroup("G", (0, 3))
+
+
+def make_request(
+    flow_id: int = 0,
+    source=1,
+    group: AnycastGroup | None = None,
+    bandwidth_bps: float = 64_000.0,
+    arrival_time: float = 0.0,
+    lifetime_s: float | None = 10.0,
+) -> FlowRequest:
+    """Build a flow request with small-network defaults."""
+    return FlowRequest(
+        flow_id=flow_id,
+        source=source,
+        group=group if group is not None else AnycastGroup("G", (0, 3)),
+        qos=QoSRequirement(bandwidth_bps=bandwidth_bps),
+        arrival_time=arrival_time,
+        lifetime_s=lifetime_s,
+    )

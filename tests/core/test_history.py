@@ -1,0 +1,81 @@
+"""Unit tests for local admission history (repro.core.history)."""
+
+import pytest
+
+from repro.core.history import AdmissionHistory
+from repro.flows.group import AnycastGroup
+
+
+@pytest.fixture
+def group() -> AnycastGroup:
+    return AnycastGroup("A", (0, 4, 8))
+
+
+class TestInitialization:
+    def test_counters_start_at_zero(self, group):
+        history = AdmissionHistory(group)
+        assert history.counters() == (0, 0, 0)
+        assert history.clean_member_count == 3
+
+
+class TestUpdates:
+    def test_failure_increments(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(4)
+        history.record_failure(4)
+        assert history.failures_of(4) == 2
+        assert history.counters() == (0, 2, 0)
+
+    def test_success_resets(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(4)
+        history.record_failure(4)
+        history.record_success(4)
+        assert history.failures_of(4) == 0
+
+    def test_counters_are_per_member(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(0)
+        history.record_failure(8)
+        history.record_failure(8)
+        assert history.counters() == (1, 0, 2)
+
+    def test_success_only_resets_its_member(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(0)
+        history.record_failure(4)
+        history.record_success(0)
+        assert history.counters() == (0, 1, 0)
+
+    def test_clean_member_count(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(0)
+        history.record_failure(4)
+        assert history.clean_member_count == 1
+
+    def test_totals(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(0)
+        history.record_success(0)
+        history.record_success(4)
+        assert history.total_failures == 1
+        assert history.total_successes == 2
+
+    def test_unknown_member_raises(self, group):
+        history = AdmissionHistory(group)
+        with pytest.raises(ValueError):
+            history.record_failure(99)
+        with pytest.raises(ValueError):
+            history.record_success(99)
+
+    def test_reset_restores_initial_state(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(0)
+        history.record_failure(4)
+        history.reset()
+        assert history.counters() == (0, 0, 0)
+
+    def test_iteration_yields_counters(self, group):
+        history = AdmissionHistory(group)
+        history.record_failure(8)
+        assert list(history) == [0, 0, 1]

@@ -1,0 +1,130 @@
+"""Tests for the hybrid WD/D+H+B selector."""
+
+import pytest
+
+from repro.core.selection import (
+    DistanceBandwidthWeighted,
+    HybridWeighted,
+    SelectionContext,
+)
+from repro.flows.group import AnycastGroup
+from repro.network.routing import RouteTable
+from repro.network.topologies import line
+
+
+def make_context(network=None, source=2, members=(0, 4)):
+    network = network if network is not None else line(5)
+    group = AnycastGroup("A", members)
+    routes = RouteTable(network, source, members)
+    return network, SelectionContext(network=network, routes=routes, group=group)
+
+
+class TestWeights:
+    def test_initial_weights_match_bandwidth_selector(self):
+        network, context = make_context()
+        hybrid = HybridWeighted(context)
+        parent = DistanceBandwidthWeighted(context)
+        assert hybrid.weights() == pytest.approx(parent.weights())
+
+    def test_history_decays_failing_member(self):
+        network, context = make_context()
+        hybrid = HybridWeighted(context, alpha=0.5)
+        hybrid.observe(0, success=False)
+        weights = hybrid.weights()
+        # Symmetric bandwidth/distance; the failure halves member 0.
+        assert weights[0] == pytest.approx(1.0 / 3.0)
+        assert weights[1] == pytest.approx(2.0 / 3.0)
+
+    def test_bandwidth_still_steers(self):
+        network, context = make_context()
+        hybrid = HybridWeighted(context)
+        network.link(2, 3).reserve("f", network.link(2, 3).capacity_bps)
+        assert hybrid.weights() == pytest.approx([1.0, 0.0])
+
+    def test_success_resets_history(self):
+        network, context = make_context()
+        hybrid = HybridWeighted(context, alpha=0.0)
+        hybrid.observe(0, success=False)
+        assert hybrid.weights()[0] == 0.0
+        hybrid.observe(0, success=True)
+        assert hybrid.weights()[0] == pytest.approx(0.5)
+
+    def test_all_saturated_falls_back_to_distance(self):
+        network, context = make_context()
+        for link in network.links():
+            link.reserve("f", link.capacity_bps)
+        hybrid = HybridWeighted(context)
+        assert hybrid.weights() == pytest.approx([0.5, 0.5])
+
+    def test_weights_sum_to_one_through_updates(self):
+        from repro.sim.random_streams import StreamFactory
+
+        network, context = make_context()
+        hybrid = HybridWeighted(context, alpha=0.3)
+        rng = StreamFactory(4).stream("h")
+        for i in range(40):
+            member = hybrid.select(rng)
+            hybrid.observe(member, success=(i % 2 == 0))
+            assert sum(hybrid.weights()) == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        _, context = make_context()
+        with pytest.raises(ValueError):
+            HybridWeighted(context, alpha=-0.1)
+
+
+class TestSystemIntegration:
+    def test_spec_label(self):
+        from repro.core.system import SystemSpec
+
+        assert SystemSpec("WD/D+H+B", retrials=2).label == "<WD/D+H+B,2>"
+
+    def test_build_and_run(self):
+        import repro
+
+        result = repro.quick_run(
+            "WD/D+H+B", retrials=2, arrival_rate=30.0,
+            warmup_s=50.0, measure_s=150.0, seed=2,
+        )
+        assert 0.0 < result.admission_probability <= 1.0
+
+    def test_staleness_applies_to_hybrid(self):
+        from repro.core.system import SystemSpec
+        from repro.flows.group import AnycastGroup
+        from repro.flows.traffic import WorkloadSpec
+        from repro.network.topologies import (
+            MCI_GROUP_MEMBERS,
+            MCI_SOURCES,
+            mci_backbone,
+        )
+        from repro.sim.simulation import run_simulation
+
+        workload = WorkloadSpec(
+            arrival_rate=30.0,
+            sources=MCI_SOURCES,
+            group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+            mean_lifetime_s=20.0,
+        )
+        result = run_simulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec(
+                "WD/D+H+B", retrials=2, bandwidth_refresh_s=5.0
+            ),
+            workload=workload,
+            warmup_s=30.0,
+            measure_s=120.0,
+            seed=3,
+        )
+        assert 0.0 < result.admission_probability <= 1.0
+
+    def test_hybrid_competitive_with_parents(self):
+        """At heavy load the hybrid is at least as good as its parents."""
+        import repro
+
+        aps = {}
+        for algorithm in ("WD/D+H", "WD/D+B", "WD/D+H+B"):
+            aps[algorithm] = repro.quick_run(
+                algorithm, retrials=2, arrival_rate=35.0,
+                warmup_s=150.0, measure_s=500.0, seed=8,
+            ).admission_probability
+        assert aps["WD/D+H+B"] >= min(aps["WD/D+H"], aps["WD/D+B"]) - 0.03

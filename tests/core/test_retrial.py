@@ -1,0 +1,45 @@
+"""Unit tests for retrial control (repro.core.retrial)."""
+
+import pytest
+
+from repro.core.retrial import (
+    AlwaysRetryPolicy,
+    CounterRetrialPolicy,
+    NeverRetryPolicy,
+)
+
+
+class TestCounterRetrialPolicy:
+    def test_r1_never_retries(self):
+        policy = CounterRetrialPolicy(1)
+        assert not policy.should_retry(attempts_made=1, distinct_tried=1, group_size=5)
+
+    def test_retries_below_limit(self):
+        policy = CounterRetrialPolicy(3)
+        assert policy.should_retry(attempts_made=1, distinct_tried=1, group_size=5)
+        assert policy.should_retry(attempts_made=2, distinct_tried=2, group_size=5)
+        assert not policy.should_retry(attempts_made=3, distinct_tried=3, group_size=5)
+
+    def test_stops_when_group_exhausted(self):
+        policy = CounterRetrialPolicy(10)
+        assert not policy.should_retry(attempts_made=5, distinct_tried=5, group_size=5)
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            CounterRetrialPolicy(0)
+
+    def test_repr_mentions_r(self):
+        assert "R=4" in repr(CounterRetrialPolicy(4))
+
+
+class TestAlwaysRetryPolicy:
+    def test_retries_until_group_exhausted(self):
+        policy = AlwaysRetryPolicy()
+        assert policy.should_retry(attempts_made=4, distinct_tried=4, group_size=5)
+        assert not policy.should_retry(attempts_made=5, distinct_tried=5, group_size=5)
+
+
+class TestNeverRetryPolicy:
+    def test_never_retries(self):
+        policy = NeverRetryPolicy()
+        assert not policy.should_retry(attempts_made=1, distinct_tried=1, group_size=5)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface (repro.experiments.cli)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_run_subcommand(self, capsys):
+        exit_code = main(
+            ["run", "--quick", "--algorithm", "SP", "--rate", "10", "--seed", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "SP" in out
+        assert "AP=" in out
+
+    def test_table_target(self, capsys, monkeypatch):
+        # Shrink the quick config further for test speed.
+        import repro.experiments.cli as cli_module
+        from repro.experiments.config import quick_config
+
+        original = cli_module.quick_config
+        monkeypatch.setattr(
+            cli_module,
+            "quick_config",
+            lambda seed: original(seed).scaled(warmup_s=20.0, measure_s=60.0),
+        )
+        assert main(["tab2", "--quick", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "TAB2" in out
+        assert "analysis - simulation" in out
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "MAGIC"])
+
+    def test_ablation_target(self, capsys, monkeypatch):
+        import repro.experiments.cli as cli_module
+
+        original = cli_module.quick_config
+        monkeypatch.setattr(
+            cli_module,
+            "quick_config",
+            lambda seed: original(seed).scaled(
+                mean_lifetime_s=30.0, warmup_s=30.0, measure_s=90.0
+            ),
+        )
+        assert main(["ablation-retrial", "--quick", "--rate", "180"]) == 0
+        out = capsys.readouterr().out
+        assert "exclude" in out
+        assert "resample" in out

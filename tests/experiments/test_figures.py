@@ -1,0 +1,78 @@
+"""Tests for figure regeneration (repro.experiments.figures).
+
+Uses a miniature configuration so the whole module runs in seconds;
+the full-shape assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.config import quick_config
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    COMPARISON_SPECS,
+    figure3,
+    figure6,
+    figure7,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    return quick_config(seed=21).scaled(
+        warmup_s=20.0,
+        measure_s=80.0,
+        arrival_rates=(10.0, 40.0),
+        retrial_limits=(1, 2),
+    )
+
+
+class TestSensitivityFigures:
+    def test_figure3_structure(self, mini_config):
+        result = figure3(mini_config)
+        assert result.figure_id == "fig3"
+        assert result.x_values == (10.0, 40.0)
+        assert set(result.series) == {"<ED,1>", "<ED,2>"}
+        for values in result.series.values():
+            assert len(values) == 2
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_retrials_never_hurt(self, mini_config):
+        result = figure3(mini_config)
+        r1 = result.series_for("<ED,1>")
+        r2 = result.series_for("<ED,2>")
+        for ap1, ap2 in zip(r1, r2):
+            assert ap2 >= ap1 - 0.02  # noise margin
+
+    def test_render_contains_series(self, mini_config):
+        text = figure3(mini_config).render()
+        assert "FIG3" in text
+        assert "<ED,2>" in text
+
+
+class TestComparisonFigures:
+    def test_figure6_includes_baselines(self, mini_config):
+        result = figure6(mini_config)
+        assert set(result.series) == {
+            "SP",
+            "<ED,2>",
+            "<WD/D+H,2>",
+            "<WD/D+B,2>",
+            "GDI",
+        }
+
+    def test_comparison_specs_use_r2(self):
+        for spec in COMPARISON_SPECS:
+            if spec.algorithm not in ("SP", "GDI"):
+                assert spec.retrials == 2
+
+    def test_figure7_reports_retrials(self, mini_config):
+        result = figure7(mini_config)
+        assert set(result.series) == {"<ED,2>", "<WD/D+H,2>", "<WD/D+B,2>"}
+        for values in result.series.values():
+            # With R=2 the retrial count per request is in [0, 1].
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig3", "fig4", "fig5", "fig6", "fig7"}

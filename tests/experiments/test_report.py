@@ -1,0 +1,71 @@
+"""Unit tests for text rendering (repro.experiments.report)."""
+
+import pytest
+
+from repro.experiments.report import ascii_plot, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["alpha", "1"], ["b", "22"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert "-----" in lines[2]
+        # Columns aligned: 'value' column starts at same offset everywhere.
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["h"], [["x"]])
+        assert text.splitlines()[0] == "h"
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeriesTable:
+    def test_renders_all_series(self):
+        text = format_series_table(
+            "system",
+            [5.0, 20.0],
+            {"<ED,2>": [1.0, 0.8], "SP": [1.0, 0.7]},
+        )
+        assert "<ED,2>" in text
+        assert "SP" in text
+        assert "0.8000" in text
+
+    def test_precision(self):
+        text = format_series_table("s", [1.0], {"x": [0.123456]}, precision=2)
+        assert "0.12" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series_table("s", [1.0, 2.0], {"x": [0.5]})
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(
+            [0.0, 1.0, 2.0],
+            {"up": [0.0, 0.5, 1.0], "down": [1.0, 0.5, 0.0]},
+            width=20,
+            height=5,
+        )
+        assert "*" in text
+        assert "o" in text
+        assert "up" in text and "down" in text
+
+    def test_flat_series_handled(self):
+        text = ascii_plot([0.0, 1.0], {"flat": [0.5, 0.5]}, width=10, height=3)
+        assert "flat" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0.0], {})

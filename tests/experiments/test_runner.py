@@ -1,0 +1,75 @@
+"""Unit tests for the experiment runner (repro.experiments.runner)."""
+
+import pytest
+
+from repro.core.system import SystemSpec
+from repro.experiments.config import quick_config
+from repro.experiments.runner import run_point, sweep
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return quick_config(seed=11).scaled(
+        warmup_s=20.0, measure_s=100.0, arrival_rates=(10.0, 40.0)
+    )
+
+
+class TestRunPoint:
+    def test_basic_fields(self, tiny_config):
+        point = run_point(SystemSpec("ED", retrials=2), 20.0, tiny_config)
+        assert point.system_label == "<ED,2>"
+        assert point.arrival_rate == 20.0
+        assert 0.0 <= point.admission_probability <= 1.0
+        assert point.ap_ci_low <= point.admission_probability <= point.ap_ci_high
+        assert point.requests > 0
+        assert len(point.runs) == tiny_config.replications
+
+    def test_replications_aggregate(self, tiny_config):
+        config = tiny_config.scaled(replications=3)
+        point = run_point(SystemSpec("ED", retrials=1), 30.0, config)
+        assert point.replications == 3
+        assert len(point.runs) == 3
+        aps = [run.admission_probability for run in point.runs]
+        assert point.admission_probability == pytest.approx(sum(aps) / 3)
+
+    def test_deterministic(self, tiny_config):
+        a = run_point(SystemSpec("SP"), 30.0, tiny_config)
+        b = run_point(SystemSpec("SP"), 30.0, tiny_config)
+        assert a.admission_probability == b.admission_probability
+
+    def test_str_contains_label(self, tiny_config):
+        point = run_point(SystemSpec("SP"), 30.0, tiny_config)
+        assert "SP" in str(point)
+
+
+class TestSweep:
+    def test_series_structure(self, tiny_config):
+        results = sweep(
+            [SystemSpec("ED", retrials=1), SystemSpec("SP")], tiny_config
+        )
+        assert [r.system_label for r in results] == ["<ED,1>", "SP"]
+        for result in results:
+            assert result.arrival_rates() == [10.0, 40.0]
+            assert len(result.admission_probabilities()) == 2
+            assert len(result.mean_retrials()) == 2
+
+    def test_point_lookup(self, tiny_config):
+        (result,) = sweep([SystemSpec("ED", retrials=1)], tiny_config)
+        point = result.point_at(40.0)
+        assert point.arrival_rate == 40.0
+        with pytest.raises(KeyError):
+            result.point_at(99.0)
+
+    def test_explicit_rates_override_config(self, tiny_config):
+        (result,) = sweep(
+            [SystemSpec("ED", retrials=1)], tiny_config, arrival_rates=(15.0,)
+        )
+        assert result.arrival_rates() == [15.0]
+
+    def test_common_random_numbers_across_systems(self, tiny_config):
+        """Systems at the same replication share identical workloads."""
+        ed, sp = sweep(
+            [SystemSpec("ED", retrials=1), SystemSpec("SP")], tiny_config
+        )
+        # Same arrivals -> same request counts in the window.
+        assert ed.point_at(10.0).requests == sp.point_at(10.0).requests

@@ -1,0 +1,114 @@
+"""Unit tests for the on-disk result store (repro.experiments.store)."""
+
+import pytest
+
+from repro.core.system import SystemSpec
+from repro.experiments.config import quick_config
+from repro.experiments.runner import PointResult
+from repro.experiments.store import ResultStore, _point_key
+
+
+def make_point(label="<ED,2>", rate=20.0):
+    return PointResult(
+        system_label=label,
+        arrival_rate=rate,
+        replications=1,
+        admission_probability=0.8,
+        ap_ci_low=0.78,
+        ap_ci_high=0.82,
+        mean_retrials=0.3,
+        mean_attempts=1.3,
+        requests=500,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+@pytest.fixture
+def config():
+    return quick_config(seed=1)
+
+
+SPEC = SystemSpec("ED", retrials=2)
+
+
+class TestKeying:
+    def test_same_inputs_same_key(self, config):
+        assert _point_key(SPEC, 20.0, config) == _point_key(SPEC, 20.0, config)
+
+    def test_rate_changes_key(self, config):
+        assert _point_key(SPEC, 20.0, config) != _point_key(SPEC, 25.0, config)
+
+    def test_spec_changes_key(self, config):
+        other = SystemSpec("ED", retrials=3)
+        assert _point_key(SPEC, 20.0, config) != _point_key(other, 20.0, config)
+
+    def test_seed_changes_key(self, config):
+        other = config.scaled(seed=2)
+        assert _point_key(SPEC, 20.0, config) != _point_key(SPEC, 20.0, other)
+
+    def test_alpha_changes_key(self, config):
+        a = SystemSpec("WD/D+H", retrials=2, alpha=0.25)
+        b = SystemSpec("WD/D+H", retrials=2, alpha=0.75)
+        assert _point_key(a, 20.0, config) != _point_key(b, 20.0, config)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store, config):
+        point = make_point()
+        store.put(SPEC, 20.0, config, point)
+        loaded = store.get(SPEC, 20.0, config)
+        assert loaded is not None
+        assert loaded.admission_probability == point.admission_probability
+        assert loaded.requests == point.requests
+        assert loaded.system_label == point.system_label
+
+    def test_missing_returns_none(self, store, config):
+        assert store.get(SPEC, 20.0, config) is None
+
+    def test_entry_count_and_clear(self, store, config):
+        assert store.entry_count() == 0
+        store.put(SPEC, 20.0, config, make_point())
+        store.put(SPEC, 25.0, config, make_point(rate=25.0))
+        assert store.entry_count() == 2
+        store.clear()
+        assert store.entry_count() == 0
+
+
+class TestGetOrRun:
+    def test_runs_once_then_caches(self, store, config):
+        calls = []
+
+        def fake_runner(spec, rate, cfg):
+            calls.append((spec.label, rate))
+            return make_point(spec.label, rate)
+
+        first = store.get_or_run(SPEC, 20.0, config, runner=fake_runner)
+        second = store.get_or_run(SPEC, 20.0, config, runner=fake_runner)
+        assert calls == [("<ED,2>", 20.0)]
+        assert store.hits == 1
+        assert store.misses == 1
+        assert first.admission_probability == second.admission_probability
+
+    def test_different_points_run_separately(self, store, config):
+        calls = []
+
+        def fake_runner(spec, rate, cfg):
+            calls.append(rate)
+            return make_point(spec.label, rate)
+
+        store.get_or_run(SPEC, 20.0, config, runner=fake_runner)
+        store.get_or_run(SPEC, 25.0, config, runner=fake_runner)
+        assert calls == [20.0, 25.0]
+
+    def test_real_run_end_to_end(self, store):
+        tiny = quick_config(seed=3).scaled(
+            mean_lifetime_s=20.0, warmup_s=20.0, measure_s=60.0
+        )
+        first = store.get_or_run(SPEC, 60.0, tiny)
+        second = store.get_or_run(SPEC, 60.0, tiny)
+        assert store.hits == 1
+        assert first.admission_probability == second.admission_probability

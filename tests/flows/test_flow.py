@@ -1,0 +1,91 @@
+"""Unit tests for flow requests and admitted flows (repro.flows.flow)."""
+
+import pytest
+
+from repro.flows.flow import AdmittedFlow, FlowRequest
+from repro.flows.group import AnycastGroup
+from repro.flows.qos import QoSRequirement
+
+
+def make_request(**overrides) -> FlowRequest:
+    defaults = dict(
+        flow_id=1,
+        source=9,
+        group=AnycastGroup("A", (0, 4)),
+        qos=QoSRequirement(bandwidth_bps=64_000.0),
+        arrival_time=10.0,
+        lifetime_s=180.0,
+    )
+    defaults.update(overrides)
+    return FlowRequest(**defaults)
+
+
+class TestFlowRequest:
+    def test_bandwidth_comes_from_qos(self):
+        request = make_request()
+        assert request.bandwidth_bps == 64_000.0
+
+    def test_departure_time(self):
+        request = make_request(arrival_time=10.0, lifetime_s=5.0)
+        assert request.departure_time == 15.0
+
+    def test_open_ended_flow_has_no_departure(self):
+        request = make_request(lifetime_s=None)
+        assert request.departure_time is None
+
+    def test_negative_lifetime_rejected(self):
+        with pytest.raises(ValueError):
+            make_request(lifetime_s=-1.0)
+
+    def test_frozen(self):
+        request = make_request()
+        with pytest.raises(AttributeError):
+            request.flow_id = 99
+
+
+class TestAdmittedFlow:
+    def test_valid_flow(self):
+        request = make_request()
+        flow = AdmittedFlow(
+            request=request,
+            destination=4,
+            path=(9, 5, 4),
+            admitted_at=10.0,
+            attempts=2,
+        )
+        assert flow.flow_id == 1
+        assert flow.bandwidth_bps == 64_000.0
+        assert flow.hop_count == 2
+        assert not flow.released
+
+    def test_destination_must_be_group_member(self):
+        request = make_request()
+        with pytest.raises(ValueError):
+            AdmittedFlow(
+                request=request, destination=99, path=(9, 99), admitted_at=0.0
+            )
+
+    def test_path_must_end_at_destination(self):
+        request = make_request()
+        with pytest.raises(ValueError):
+            AdmittedFlow(
+                request=request, destination=4, path=(9, 5, 0), admitted_at=0.0
+            )
+
+    def test_attempts_must_be_positive(self):
+        request = make_request()
+        with pytest.raises(ValueError):
+            AdmittedFlow(
+                request=request,
+                destination=4,
+                path=(9, 4),
+                admitted_at=0.0,
+                attempts=0,
+            )
+
+    def test_zero_hop_flow(self):
+        request = make_request(source=0)
+        flow = AdmittedFlow(
+            request=request, destination=0, path=(0,), admitted_at=0.0
+        )
+        assert flow.hop_count == 0

@@ -1,0 +1,65 @@
+"""Unit tests for anycast groups (repro.flows.group)."""
+
+import pytest
+
+from repro.flows.group import AnycastGroup
+
+
+class TestConstruction:
+    def test_members_preserved_in_order(self):
+        group = AnycastGroup("A", (4, 0, 8))
+        assert group.members == (4, 0, 8)
+        assert group.size == 3
+        assert len(group) == 3
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            AnycastGroup("A", ())
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            AnycastGroup("A", (1, 2, 1))
+
+    def test_unicast_degenerate_case(self):
+        group = AnycastGroup("U", (7,))
+        assert group.is_unicast
+        assert not AnycastGroup("A", (1, 2)).is_unicast
+
+
+class TestMembership:
+    def test_contains(self):
+        group = AnycastGroup("A", (0, 4, 8))
+        assert 4 in group
+        assert 5 not in group
+
+    def test_index_of(self):
+        group = AnycastGroup("A", (0, 4, 8))
+        assert group.index_of(0) == 0
+        assert group.index_of(8) == 2
+
+    def test_index_of_non_member_raises(self):
+        group = AnycastGroup("A", (0, 4))
+        with pytest.raises(ValueError):
+            group.index_of(99)
+
+    def test_iteration(self):
+        group = AnycastGroup("A", (3, 1, 2))
+        assert list(group) == [3, 1, 2]
+
+
+class TestEquality:
+    def test_equal_groups(self):
+        assert AnycastGroup("A", (1, 2)) == AnycastGroup("A", (1, 2))
+
+    def test_member_order_matters(self):
+        assert AnycastGroup("A", (1, 2)) != AnycastGroup("A", (2, 1))
+
+    def test_address_matters(self):
+        assert AnycastGroup("A", (1, 2)) != AnycastGroup("B", (1, 2))
+
+    def test_hashable(self):
+        groups = {AnycastGroup("A", (1, 2)), AnycastGroup("A", (1, 2))}
+        assert len(groups) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert AnycastGroup("A", (1,)) != "A"

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+import repro
+from repro.core.system import SystemSpec
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.topologies import (
+    MCI_GROUP_MEMBERS,
+    MCI_SOURCES,
+    mci_backbone,
+    nsfnet,
+    waxman_random,
+)
+from repro.sim.simulation import run_simulation
+
+
+class TestPublicApi:
+    def test_quick_run_smoke(self):
+        result = repro.quick_run(
+            "WD/D+H", retrials=2, arrival_rate=20.0,
+            warmup_s=50.0, measure_s=200.0, seed=1,
+        )
+        assert 0.0 < result.admission_probability <= 1.0
+        assert result.system_label == "<WD/D+H,2>"
+
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestEverySystemRuns:
+    @pytest.mark.parametrize(
+        "algorithm", ["ED", "WD/D", "WD/D+H", "WD/D+B", "SP", "GDI"]
+    )
+    def test_system_end_to_end(self, algorithm):
+        result = repro.quick_run(
+            algorithm, retrials=2, arrival_rate=30.0,
+            warmup_s=50.0, measure_s=150.0, seed=2,
+        )
+        assert result.requests > 0
+        assert 0.0 <= result.admission_probability <= 1.0
+
+
+class TestAlternativeTopologies:
+    def test_nsfnet_workload(self):
+        group = AnycastGroup("A", (0, 5, 9))
+        workload = WorkloadSpec(
+            arrival_rate=15.0,
+            sources=(1, 3, 7, 11),
+            group=group,
+            mean_lifetime_s=60.0,
+        )
+        result = run_simulation(
+            network_factory=nsfnet,
+            system_spec=SystemSpec("WD/D+H", retrials=2),
+            workload=workload,
+            warmup_s=60.0,
+            measure_s=240.0,
+            seed=3,
+        )
+        assert 0.0 < result.admission_probability <= 1.0
+
+    def test_random_topology_workload(self):
+        network_factory = lambda: waxman_random(16, seed=5)
+        network = network_factory()
+        nodes = network.nodes()
+        group = AnycastGroup("A", tuple(nodes[:3]))
+        workload = WorkloadSpec(
+            arrival_rate=10.0,
+            sources=tuple(nodes[5:9]),
+            group=group,
+            mean_lifetime_s=60.0,
+        )
+        result = run_simulation(
+            network_factory=network_factory,
+            system_spec=SystemSpec("ED", retrials=2),
+            workload=workload,
+            warmup_s=60.0,
+            measure_s=240.0,
+            seed=4,
+        )
+        assert result.requests > 0
+
+
+class TestUnicastDegenerateCase:
+    def test_group_of_one_behaves_like_unicast(self):
+        """K=1: every algorithm collapses to the same single-route system."""
+        group = AnycastGroup("U", (8,))
+        workload = WorkloadSpec(
+            arrival_rate=20.0,
+            sources=MCI_SOURCES,
+            group=group,
+            mean_lifetime_s=30.0,
+        )
+        results = {}
+        for algorithm in ("ED", "WD/D+H", "WD/D+B", "SP"):
+            results[algorithm] = run_simulation(
+                network_factory=mci_backbone,
+                system_spec=SystemSpec(algorithm, retrials=3),
+                workload=workload,
+                warmup_s=60.0,
+                measure_s=240.0,
+                seed=6,
+            ).admission_probability
+        baseline = results["SP"]
+        for algorithm, ap in results.items():
+            assert ap == pytest.approx(baseline, abs=1e-12), algorithm
+
+
+class TestDelayQosExtension:
+    def test_delay_bound_reduces_admissions(self):
+        """Tighter delay QoS -> larger effective bandwidth -> lower AP."""
+        from repro.flows.qos import QoSRequirement
+        from repro.core.system import build_system
+        from repro.flows.flow import FlowRequest
+        from repro.sim.random_streams import StreamFactory
+
+        group = AnycastGroup("A", MCI_GROUP_MEMBERS)
+        network = mci_backbone(capacity_bps=10 * 64_000.0)
+        system = build_system(
+            SystemSpec("WD/D+H", retrials=2),
+            network, MCI_SOURCES, group, StreamFactory(0),
+        )
+        # Resolve a delay bound against the longest fixed route (4 hops
+        # covers every route in the MCI tables used here).  0.25 s over
+        # 4 hops needs ~192 kbit/s under WFQ — three slots per link.
+        tight = QoSRequirement(
+            bandwidth_bps=64_000.0, delay_bound_s=0.25
+        ).with_route(4, [100e6] * 4)
+        assert tight.effective_bandwidth_bps > 64_000.0
+        admitted = 0
+        for flow_id in range(60):
+            request = FlowRequest(
+                flow_id=flow_id, source=1, group=group, qos=tight
+            )
+            if system.admit(request).admitted:
+                admitted += 1
+        # Effective bandwidth > one slot, so fewer than 60 requests of
+        # the 10-slot links can be simultaneously admitted.
+        assert 0 < admitted < 60

@@ -1,0 +1,126 @@
+"""Unit tests for capacitated links (repro.network.link)."""
+
+import pytest
+
+from repro.network.link import InsufficientBandwidthError, Link
+
+
+class TestConstruction:
+    def test_attributes(self):
+        link = Link(0, 1, capacity_bps=1000.0, propagation_delay_s=0.01)
+        assert link.source == 0
+        assert link.target == 1
+        assert link.capacity_bps == 1000.0
+        assert link.propagation_delay_s == 0.01
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, capacity_bps=-1.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, capacity_bps=1.0, propagation_delay_s=-0.1)
+
+    def test_initially_empty(self):
+        link = Link(0, 1, capacity_bps=1000.0)
+        assert link.reserved_bps == 0.0
+        assert link.available_bps == 1000.0
+        assert link.flow_count == 0
+        assert link.utilization == 0.0
+
+
+class TestReservation:
+    def test_reserve_reduces_available(self):
+        link = Link(0, 1, capacity_bps=1000.0)
+        link.reserve("f1", 300.0)
+        assert link.reserved_bps == 300.0
+        assert link.available_bps == 700.0
+        assert link.holds("f1")
+        assert link.reservation_of("f1") == 300.0
+
+    def test_reserve_over_capacity_raises(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 80.0)
+        with pytest.raises(InsufficientBandwidthError):
+            link.reserve("f2", 30.0)
+        assert link.rejections == 1
+        assert not link.holds("f2")
+
+    def test_exact_fill_allowed(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 100.0)
+        assert link.available_bps == pytest.approx(0.0)
+
+    def test_double_reservation_same_flow_rejected(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 10.0)
+        with pytest.raises(ValueError):
+            link.reserve("f1", 10.0)
+
+    def test_negative_bandwidth_rejected(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        with pytest.raises(ValueError):
+            link.reserve("f1", -5.0)
+
+    def test_zero_bandwidth_reservation_allowed(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 0.0)
+        assert link.holds("f1")
+        assert link.available_bps == 100.0
+
+    def test_grants_counter(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 10.0)
+        link.reserve("f2", 10.0)
+        assert link.grants == 2
+
+    def test_many_flows_sum(self):
+        link = Link(0, 1, capacity_bps=640.0)
+        for i in range(10):
+            link.reserve(i, 64.0)
+        assert link.flow_count == 10
+        assert link.available_bps == pytest.approx(0.0)
+        assert set(link.flows()) == set(range(10))
+
+
+class TestRelease:
+    def test_release_returns_bandwidth(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 40.0)
+        released = link.release("f1")
+        assert released == 40.0
+        assert link.available_bps == 100.0
+        assert not link.holds("f1")
+
+    def test_release_unknown_flow_raises(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        with pytest.raises(KeyError):
+            link.release("ghost")
+
+    def test_release_if_held(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 40.0)
+        assert link.release_if_held("f1") == 40.0
+        assert link.release_if_held("f1") == 0.0
+
+    def test_reserve_after_release_succeeds(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 100.0)
+        link.release("f1")
+        link.reserve("f2", 100.0)
+        assert link.holds("f2")
+
+
+class TestCanAdmit:
+    def test_can_admit_respects_available(self):
+        link = Link(0, 1, capacity_bps=100.0)
+        link.reserve("f1", 60.0)
+        assert link.can_admit(40.0)
+        assert not link.can_admit(41.0)
+
+    def test_float_tolerance_on_exact_boundary(self):
+        link = Link(0, 1, capacity_bps=0.3)
+        link.reserve("a", 0.1)
+        link.reserve("b", 0.1)
+        # 0.3 - 0.1 - 0.1 may be 0.09999...; tolerance must accept 0.1.
+        assert link.can_admit(0.1)

@@ -1,0 +1,110 @@
+"""Property-based tests for the event engine and statistics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import RunningStats
+
+
+class TestEventOrdering:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+        ),
+        cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    def test_cancelled_events_never_fire(self, delays, cancel_mask):
+        sim = Simulator()
+        fired = []
+        handles = []
+        for i, delay in enumerate(delays):
+            handles.append(sim.schedule(delay, lambda i=i: fired.append(i)))
+        cancelled = set()
+        for i, (handle, cancel) in enumerate(zip(handles, cancel_mask)):
+            if cancel:
+                handle.cancel()
+                cancelled.add(i)
+        sim.run()
+        assert set(fired).isdisjoint(cancelled)
+        assert len(fired) == len(delays) - len(cancelled & set(range(len(delays))))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+        ),
+        horizon=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_run_until_respects_horizon(self, delays, horizon):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run(until=horizon)
+        assert all(t <= horizon for t in fired)
+        assert sim.now == max([horizon] + fired)
+
+
+class TestRunningStatsProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_matches_direct_computation(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.record(value)
+        n = len(values)
+        mean = sum(values) / n
+        assert stats.count == n
+        assert abs(stats.mean - mean) < 1e-6 * max(1.0, abs(mean))
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            assert abs(stats.variance - variance) <= 1e-5 * max(1.0, variance)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        left=st.lists(st.floats(min_value=-1e3, max_value=1e3), max_size=50),
+        right=st.lists(st.floats(min_value=-1e3, max_value=1e3), max_size=50),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        merged = RunningStats()
+        for value in left:
+            merged.record(value)
+        other = RunningStats()
+        for value in right:
+            other.record(value)
+        merged.merge(other)
+        combined = RunningStats()
+        for value in left + right:
+            combined.record(value)
+        assert merged.count == combined.count
+        assert abs(merged.mean - combined.mean) < 1e-9 * max(1.0, abs(combined.mean))
+        assert abs(merged.variance - combined.variance) <= 1e-6 * max(
+            1.0, combined.variance
+        )

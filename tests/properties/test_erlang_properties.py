@@ -1,0 +1,61 @@
+"""Property-based tests for the blocking functions (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.erlang import erlang_b, uaa_blocking
+
+loads = st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False)
+capacities = st.integers(min_value=1, max_value=2_000)
+
+
+class TestErlangBProperties:
+    @given(load=loads, capacity=capacities)
+    def test_bounded_in_unit_interval(self, load, capacity):
+        value = erlang_b(load, capacity)
+        assert 0.0 <= value <= 1.0
+
+    @given(load=loads, capacity=capacities)
+    def test_monotone_in_capacity(self, load, capacity):
+        assert erlang_b(load, capacity + 1) <= erlang_b(load, capacity) + 1e-12
+
+    @given(
+        load=st.floats(min_value=0.1, max_value=1_000.0),
+        delta=st.floats(min_value=0.01, max_value=100.0),
+        capacity=capacities,
+    )
+    def test_monotone_in_load(self, load, delta, capacity):
+        assert erlang_b(load, capacity) <= erlang_b(load + delta, capacity) + 1e-12
+
+    @given(load=loads, capacity=capacities)
+    def test_recursion_identity(self, load, capacity):
+        """B(v, C) = v B(v, C-1) / (C + v B(v, C-1)) for C >= 1."""
+        assume(load > 0)
+        previous = erlang_b(load, capacity - 1)
+        expected = load * previous / (capacity + load * previous)
+        assert math.isclose(erlang_b(load, capacity), expected, rel_tol=1e-9)
+
+
+class TestUaaProperties:
+    @given(
+        load=st.floats(min_value=1.0, max_value=2_000.0),
+        capacity=st.integers(min_value=20, max_value=1_000),
+    )
+    @settings(max_examples=200)
+    def test_uaa_tracks_exact_erlang(self, load, capacity):
+        """UAA accuracy, stratified by the validity assumption v = O(C).
+
+        Within the paper's operating regime (load up to ~4x capacity)
+        the approximation is tight (2 % relative); in deep overload the
+        asymptotics degrade gracefully (10 %)."""
+        assume(load <= 10.0 * capacity)
+        exact = erlang_b(load, capacity)
+        approx = uaa_blocking(load, capacity)
+        tolerance = 0.02 if load <= 4.0 * capacity else 0.10
+        assert abs(approx - exact) <= max(tolerance * exact, 1e-9)
+
+    @given(load=st.floats(min_value=0.0, max_value=5_000.0), capacity=capacities)
+    def test_bounded(self, load, capacity):
+        assert 0.0 <= uaa_blocking(load, capacity) <= 1.0

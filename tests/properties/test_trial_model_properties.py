@@ -1,0 +1,116 @@
+"""Property tests for the sequential-trial analysis model.
+
+``_sequential_trial_model`` enumerates the without-replacement retry
+process exactly (given independent route rejections).  These tests
+pit it against a direct Monte-Carlo simulation of the same process and
+check its structural invariants on arbitrary inputs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.admission import _sequential_trial_model
+from repro.sim.random_streams import StreamFactory
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def trial_instances(draw):
+    size = draw(st.integers(min_value=1, max_value=5))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    if sum(weights) <= 0:
+        weights = [1.0] * size
+    rejections = draw(
+        st.lists(probabilities, min_size=size, max_size=size)
+    )
+    max_attempts = draw(st.integers(min_value=1, max_value=size))
+    return weights, rejections, max_attempts
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(instance=trial_instances())
+    def test_outputs_are_probabilities(self, instance):
+        weights, rejections, max_attempts = instance
+        model = _sequential_trial_model(weights, rejections, max_attempts)
+        assert 0.0 <= model.admission_probability <= 1.0 + 1e-12
+        assert 1.0 - 1e-12 <= model.mean_attempts <= max_attempts + 1e-9
+        for probability in model.attempt_probability:
+            assert -1e-12 <= probability <= 1.0 + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(instance=trial_instances())
+    def test_first_attempt_probabilities_sum_to_one(self, instance):
+        """Every request tries at least one destination."""
+        weights, rejections, _ = instance
+        model = _sequential_trial_model(weights, rejections, 1)
+        positive = sum(w for w in weights if w > 0)
+        total = sum(model.attempt_probability)
+        assert abs(total - 1.0) < 1e-9 or positive == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(instance=trial_instances())
+    def test_more_attempts_never_hurt(self, instance):
+        weights, rejections, max_attempts = instance
+        fewer = _sequential_trial_model(weights, rejections, max_attempts)
+        more = _sequential_trial_model(
+            weights, rejections, min(len(weights), max_attempts + 1)
+        )
+        assert more.admission_probability >= fewer.admission_probability - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=5),
+        rejection=probabilities,
+    )
+    def test_uniform_symmetric_case_closed_form(self, size, rejection):
+        """Equal weights, equal rejections p, R=K: reject prob = p^K."""
+        model = _sequential_trial_model(
+            [1.0] * size, [rejection] * size, size
+        )
+        assert model.admission_probability == (
+            1.0 - rejection**size
+        ) or abs(model.admission_probability - (1.0 - rejection**size)) < 1e-9
+
+
+class TestAgainstMonteCarlo:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        instance=trial_instances(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_matches_direct_simulation(self, instance, seed):
+        weights, rejections, max_attempts = instance
+        model = _sequential_trial_model(weights, rejections, max_attempts)
+        rng = StreamFactory(seed).stream("mc")
+        trials = 4000
+        admitted = 0
+        attempts_total = 0
+        members = list(range(len(weights)))
+        for _ in range(trials):
+            remaining = list(members)
+            attempts = 0
+            success = False
+            while attempts < max_attempts and remaining:
+                candidate_weights = [weights[i] for i in remaining]
+                if sum(candidate_weights) <= 0:
+                    break
+                choice = rng.weighted_choice(remaining, candidate_weights)
+                attempts += 1
+                remaining.remove(choice)
+                if rng.uniform() >= rejections[choice]:
+                    success = True
+                    break
+            admitted += 1 if success else 0
+            attempts_total += attempts
+        assert admitted / trials == model.admission_probability or abs(
+            admitted / trials - model.admission_probability
+        ) < 0.035
+        assert abs(attempts_total / trials - model.mean_attempts) < 0.1

@@ -1,0 +1,66 @@
+"""Unit tests for signalling messages (repro.signaling.messages)."""
+
+import pytest
+
+from repro.signaling.messages import (
+    MessageType,
+    PathErrMessage,
+    PathMessage,
+    ResvMessage,
+    TearMessage,
+)
+
+ROUTE = (0, 1, 2, 3)
+
+
+class TestValidation:
+    def test_hop_index_bounds(self):
+        with pytest.raises(ValueError):
+            PathMessage(flow_id=1, route=ROUTE, hop_index=4, bandwidth_bps=1.0)
+        with pytest.raises(ValueError):
+            PathMessage(flow_id=1, route=ROUTE, hop_index=-1, bandwidth_bps=1.0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            PathMessage(flow_id=1, route=ROUTE, hop_index=0, bandwidth_bps=-1.0)
+
+    def test_at_node(self):
+        message = PathMessage(flow_id=1, route=ROUTE, hop_index=2, bandwidth_bps=1.0)
+        assert message.at_node == 2
+
+
+class TestTypes:
+    def test_message_types(self):
+        assert (
+            PathMessage(flow_id=1, route=ROUTE, hop_index=0, bandwidth_bps=1.0)
+        ).message_type == MessageType.PATH
+        assert (
+            ResvMessage(flow_id=1, route=ROUTE, hop_index=3, bandwidth_bps=1.0)
+        ).message_type == MessageType.RESV
+        assert (
+            PathErrMessage(flow_id=1, route=ROUTE, hop_index=1, bandwidth_bps=1.0)
+        ).message_type == MessageType.PATH_ERR
+        assert (
+            TearMessage(flow_id=1, route=ROUTE, hop_index=0, bandwidth_bps=1.0)
+        ).message_type == MessageType.TEAR
+
+    def test_path_destination_detection(self):
+        at_mid = PathMessage(flow_id=1, route=ROUTE, hop_index=1, bandwidth_bps=1.0)
+        at_end = PathMessage(flow_id=1, route=ROUTE, hop_index=3, bandwidth_bps=1.0)
+        assert not at_mid.is_at_destination
+        assert at_end.is_at_destination
+
+    def test_resv_source_detection(self):
+        at_source = ResvMessage(flow_id=1, route=ROUTE, hop_index=0, bandwidth_bps=1.0)
+        at_mid = ResvMessage(flow_id=1, route=ROUTE, hop_index=2, bandwidth_bps=1.0)
+        assert at_source.is_at_source
+        assert not at_mid.is_at_source
+
+    def test_resv_default_bottleneck_infinite(self):
+        message = ResvMessage(flow_id=1, route=ROUTE, hop_index=3, bandwidth_bps=1.0)
+        assert message.bottleneck_bps == float("inf")
+
+    def test_messages_are_immutable(self):
+        message = PathMessage(flow_id=1, route=ROUTE, hop_index=0, bandwidth_bps=1.0)
+        with pytest.raises(AttributeError):
+            message.hop_index = 2

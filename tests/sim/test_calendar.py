@@ -1,0 +1,173 @@
+"""Unit tests for the calendar queue (repro.sim.calendar)."""
+
+import pytest
+
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import Event, HeapQueue, Simulator
+from repro.sim.random_streams import StreamFactory
+
+
+def make_event(time, sequence):
+    return Event(time, lambda: None, sequence)
+
+
+class TestBasicOperations:
+    def test_push_pop_single(self):
+        queue = CalendarQueue()
+        event = make_event(3.5, 0)
+        queue.push(event)
+        assert len(queue) == 1
+        assert queue.peek_time() == 3.5
+        assert queue.pop_min() is event
+        assert queue.pop_min() is None
+
+    def test_orders_by_time(self):
+        queue = CalendarQueue()
+        times = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for i, t in enumerate(times):
+            queue.push(make_event(t, i))
+        popped = [queue.pop_min().time for _ in range(5)]
+        assert popped == sorted(times)
+
+    def test_ties_break_by_insertion(self):
+        queue = CalendarQueue()
+        events = [make_event(1.0, i) for i in range(5)]
+        for event in events:
+            queue.push(event)
+        for expected in events:
+            assert queue.pop_min() is expected
+
+    def test_cancelled_events_skipped(self):
+        queue = CalendarQueue()
+        keep = make_event(2.0, 1)
+        drop = make_event(1.0, 0)
+        queue.push(drop)
+        queue.push(keep)
+        drop.cancel()
+        assert queue.pop_min() is keep
+        assert queue.live_count() == 0
+
+    def test_clear(self):
+        queue = CalendarQueue()
+        for i in range(10):
+            queue.push(make_event(float(i), i))
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop_min() is None
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(initial_width=0.0)
+
+
+class TestResizing:
+    def test_grows_and_stays_ordered(self):
+        queue = CalendarQueue()
+        stream = StreamFactory(1).stream("t")
+        events = [make_event(stream.uniform(0, 1000.0), i) for i in range(500)]
+        for event in events:
+            queue.push(event)
+        popped = []
+        while True:
+            event = queue.pop_min()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert len(popped) == 500
+        assert popped == sorted(popped)
+
+    def test_interleaved_push_pop(self):
+        """DES-like pattern: pop one, push a few slightly later."""
+        queue = CalendarQueue()
+        stream = StreamFactory(2).stream("t")
+        sequence = 0
+        for i in range(50):
+            queue.push(make_event(stream.uniform(0, 10.0), sequence))
+            sequence += 1
+        last = -1.0
+        for _ in range(2000):
+            event = queue.pop_min()
+            assert event is not None
+            assert event.time >= last
+            last = event.time
+            queue.push(make_event(last + stream.uniform(0, 5.0), sequence))
+            sequence += 1
+        assert len(queue) == 50
+
+
+class TestEquivalenceWithHeap:
+    def test_identical_order_on_random_workload(self):
+        heap, calendar = HeapQueue(), CalendarQueue()
+        stream = StreamFactory(3).stream("t")
+        sequence = 0
+        for _ in range(300):
+            t = stream.uniform(0, 100.0)
+            heap.push(make_event(t, sequence))
+            calendar.push(make_event(t, sequence))
+            sequence += 1
+        while True:
+            a = heap.pop_min()
+            b = calendar.pop_min()
+            if a is None or b is None:
+                assert a is None and b is None
+                break
+            assert (a.time, a._sequence) == (b.time, b._sequence)
+
+
+class TestSimulatorIntegration:
+    def test_simulator_accepts_calendar_queue(self):
+        sim = Simulator(queue="calendar")
+        fired = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_unknown_queue_rejected(self):
+        from repro.sim.engine import SimulationError
+
+        with pytest.raises(SimulationError):
+            Simulator(queue="linked-list")
+
+    def test_full_simulation_identical_results(self):
+        """A complete anycast run must not depend on the queue impl."""
+        import repro
+        from repro.core.system import SystemSpec
+        from repro.flows.group import AnycastGroup
+        from repro.flows.traffic import WorkloadSpec
+        from repro.network.topologies import (
+            MCI_GROUP_MEMBERS,
+            MCI_SOURCES,
+            mci_backbone,
+        )
+        from repro.sim.simulation import AnycastSimulation
+
+        workload = WorkloadSpec(
+            arrival_rate=25.0,
+            sources=MCI_SOURCES,
+            group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+            mean_lifetime_s=20.0,
+        )
+
+        def run(queue_kind):
+            simulation = AnycastSimulation(
+                network_factory=mci_backbone,
+                system_spec=SystemSpec("WD/D+H", retrials=2),
+                workload=workload,
+                warmup_s=30.0,
+                measure_s=120.0,
+                seed=9,
+            )
+            simulation.simulator = Simulator(queue=queue_kind)
+            # Rebind the metrics clock to the fresh simulator.
+            simulation.metrics._clock = lambda: simulation.simulator.now
+            return simulation.run()
+
+        heap_result = run("heap")
+        calendar_result = run("calendar")
+        assert (
+            heap_result.admission_probability
+            == calendar_result.admission_probability
+        )
+        assert heap_result.requests == calendar_result.requests
+        assert heap_result.destination_share == calendar_result.destination_share

@@ -1,0 +1,209 @@
+"""Unit tests for generator-based processes (repro.sim.process)."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import Process, Signal, all_of, hold, wait
+
+
+class TestHold:
+    def test_holds_advance_process_time(self, simulator):
+        log = []
+
+        def worker():
+            yield hold(1.5)
+            log.append(simulator.now)
+            yield hold(0.5)
+            log.append(simulator.now)
+
+        Process(simulator, worker())
+        simulator.run()
+        assert log == [1.5, 2.0]
+
+    def test_bare_number_is_hold_shorthand(self, simulator):
+        log = []
+
+        def worker():
+            yield 2.5
+            log.append(simulator.now)
+
+        Process(simulator, worker())
+        simulator.run()
+        assert log == [2.5]
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(SimulationError):
+            hold(-1.0)
+
+    def test_start_delay_offsets_first_step(self, simulator):
+        log = []
+
+        def worker():
+            log.append(simulator.now)
+            yield hold(1.0)
+            log.append(simulator.now)
+
+        Process(simulator, worker(), start_delay=3.0)
+        simulator.run()
+        assert log == [3.0, 4.0]
+
+    def test_unsupported_yield_raises(self, simulator):
+        def worker():
+            yield "nonsense"
+
+        Process(simulator, worker())
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+
+class TestSignals:
+    def test_wait_blocks_until_fire(self, simulator):
+        signal = Signal(simulator, "go")
+        log = []
+
+        def waiter():
+            payload = yield wait(signal)
+            log.append((simulator.now, payload))
+
+        def firer():
+            yield hold(2.0)
+            signal.fire("payload!")
+
+        Process(simulator, waiter())
+        Process(simulator, firer())
+        simulator.run()
+        assert log == [(2.0, "payload!")]
+
+    def test_fire_wakes_all_waiters(self, simulator):
+        signal = Signal(simulator, "go")
+        woken = []
+
+        def waiter(name):
+            yield wait(signal)
+            woken.append(name)
+
+        for name in ("a", "b", "c"):
+            Process(simulator, waiter(name))
+
+        def firer():
+            yield hold(1.0)
+            count = signal.fire()
+            woken.append(count)
+
+        Process(simulator, firer())
+        simulator.run()
+        assert 3 in woken
+        assert {"a", "b", "c"} <= set(woken)
+
+    def test_fire_with_no_waiters_returns_zero(self, simulator):
+        signal = Signal(simulator, "empty")
+        assert signal.fire() == 0
+        assert signal.fired_count == 1
+
+    def test_waiter_count(self, simulator):
+        signal = Signal(simulator)
+
+        def waiter():
+            yield wait(signal)
+
+        Process(simulator, waiter())
+        simulator.run(until=0.0)
+        assert signal.waiter_count == 1
+        signal.fire()
+        simulator.run()
+        assert signal.waiter_count == 0
+
+
+class TestLifecycle:
+    def test_process_alive_until_exhausted(self, simulator):
+        def worker():
+            yield hold(1.0)
+
+        process = Process(simulator, worker())
+        assert process.alive
+        simulator.run()
+        assert not process.alive
+
+    def test_terminated_signal_fires_on_finish(self, simulator):
+        def worker():
+            yield hold(1.0)
+
+        process = Process(simulator, worker())
+        log = []
+
+        def observer():
+            yield wait(process.terminated())
+            log.append(simulator.now)
+
+        Process(simulator, observer())
+        simulator.run()
+        assert log == [1.0]
+
+    def test_terminated_after_finish_still_fires(self, simulator):
+        def worker():
+            yield hold(1.0)
+
+        process = Process(simulator, worker())
+        simulator.run()
+        log = []
+
+        def late_observer():
+            yield wait(process.terminated())
+            log.append("woke")
+
+        Process(simulator, late_observer())
+        simulator.run()
+        assert log == ["woke"]
+
+    def test_interrupt_kills_process(self, simulator):
+        log = []
+
+        def worker():
+            yield hold(1.0)
+            log.append("should not happen")
+
+        process = Process(simulator, worker())
+        simulator.run(until=0.5)
+        process.interrupt()
+        simulator.run()
+        assert log == []
+        assert not process.alive
+
+    def test_interrupt_is_idempotent(self, simulator):
+        def worker():
+            yield hold(1.0)
+
+        process = Process(simulator, worker())
+        process.interrupt()
+        process.interrupt()
+        assert not process.alive
+
+
+class TestAllOf:
+    def test_all_of_fires_after_last_termination(self, simulator):
+        def worker(duration):
+            yield hold(duration)
+
+        processes = [Process(simulator, worker(d)) for d in (1.0, 3.0, 2.0)]
+        done = all_of(simulator, processes)
+        log = []
+
+        def observer():
+            yield wait(done)
+            log.append(simulator.now)
+
+        Process(simulator, observer())
+        simulator.run()
+        assert log == [3.0]
+
+    def test_all_of_empty_fires_immediately(self, simulator):
+        done = all_of(simulator, [])
+        log = []
+
+        def observer():
+            yield wait(done)
+            log.append(simulator.now)
+
+        Process(simulator, observer())
+        simulator.run()
+        assert log == [0.0]

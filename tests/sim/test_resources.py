@@ -1,0 +1,119 @@
+"""Unit tests for Storage and Facility (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resources import Facility, Storage
+
+
+class TestStorage:
+    def test_acquire_reduces_availability(self, simulator):
+        storage = Storage(simulator, capacity=10)
+        assert storage.try_acquire(4)
+        assert storage.in_use == 4
+        assert storage.available == 6
+
+    def test_acquire_beyond_capacity_fails(self, simulator):
+        storage = Storage(simulator, capacity=10)
+        assert storage.try_acquire(10)
+        assert not storage.try_acquire(1)
+        assert storage.acquire_failures == 1
+        assert storage.in_use == 10
+
+    def test_release_restores_capacity(self, simulator):
+        storage = Storage(simulator, capacity=5)
+        storage.try_acquire(3)
+        storage.release(3)
+        assert storage.available == 5
+
+    def test_over_release_raises(self, simulator):
+        storage = Storage(simulator, capacity=5)
+        storage.try_acquire(2)
+        with pytest.raises(SimulationError):
+            storage.release(3)
+
+    def test_negative_amounts_rejected(self, simulator):
+        storage = Storage(simulator, capacity=5)
+        with pytest.raises(SimulationError):
+            storage.try_acquire(-1)
+        with pytest.raises(SimulationError):
+            storage.release(-1)
+
+    def test_negative_capacity_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            Storage(simulator, capacity=-1)
+
+    def test_utilization_is_time_weighted(self):
+        sim = Simulator()
+        storage = Storage(sim, capacity=10)
+        sim.schedule(0.0, lambda: storage.try_acquire(10))
+        sim.schedule(5.0, lambda: storage.release(10))
+        sim.run(until=10.0)
+        # Full for 5 of 10 seconds -> utilization 0.5.
+        assert storage.utilization == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_capacity_storage(self, simulator):
+        storage = Storage(simulator, capacity=0)
+        assert not storage.try_acquire(1)
+        assert storage.try_acquire(0)
+        assert storage.utilization == 0.0
+
+    def test_success_counter(self, simulator):
+        storage = Storage(simulator, capacity=3)
+        storage.try_acquire(1)
+        storage.try_acquire(1)
+        assert storage.acquire_successes == 2
+
+
+class TestFacility:
+    def test_single_server_serializes(self):
+        sim = Simulator()
+        facility = Facility(sim, servers=1)
+        done = []
+        facility.request(2.0, lambda: done.append(sim.now))
+        facility.request(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]
+
+    def test_multi_server_parallelism(self):
+        sim = Simulator()
+        facility = Facility(sim, servers=2)
+        done = []
+        facility.request(2.0, lambda: done.append(sim.now))
+        facility.request(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 3.0]
+
+    def test_queue_length_while_busy(self):
+        sim = Simulator()
+        facility = Facility(sim, servers=1)
+        facility.request(5.0)
+        facility.request(5.0)
+        facility.request(5.0)
+        sim.run(until=1.0)
+        assert facility.busy == 1
+        assert facility.queue_length == 2
+
+    def test_completed_counter(self):
+        sim = Simulator()
+        facility = Facility(sim, servers=1)
+        for _ in range(4):
+            facility.request(1.0)
+        sim.run()
+        assert facility.completed == 4
+
+    def test_zero_servers_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            Facility(simulator, servers=0)
+
+    def test_negative_service_time_rejected(self, simulator):
+        facility = Facility(simulator, servers=1)
+        with pytest.raises(SimulationError):
+            facility.request(-1.0)
+
+    def test_utilization(self):
+        sim = Simulator()
+        facility = Facility(sim, servers=1)
+        facility.request(5.0)
+        sim.run(until=10.0)
+        assert facility.utilization == pytest.approx(0.5, abs=0.01)

@@ -1,0 +1,226 @@
+"""Unit tests for output statistics (repro.sim.stats)."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import (
+    BatchMeans,
+    RunningStats,
+    TimeWeightedStats,
+    confidence_interval,
+)
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_mean_and_variance(self):
+        stats = RunningStats()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stats.record(value)
+        assert stats.mean == pytest.approx(5.0)
+        # Sample variance of that classic dataset is 32/7.
+        assert stats.variance == pytest.approx(32.0 / 7.0)
+
+    def test_min_max(self):
+        stats = RunningStats()
+        for value in (3.0, -1.0, 7.0):
+            stats.record(value)
+        assert stats.minimum == -1.0
+        assert stats.maximum == 7.0
+
+    def test_single_observation_variance_zero(self):
+        stats = RunningStats()
+        stats.record(5.0)
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    def test_merge_matches_sequential(self):
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        values_a = [1.0, 2.0, 3.0]
+        values_b = [10.0, 20.0]
+        for v in values_a:
+            a.record(v)
+            combined.record(v)
+        for v in values_b:
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.minimum == combined.minimum
+        assert a.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a, b = RunningStats(), RunningStats()
+        a.record(1.0)
+        a.merge(b)
+        assert a.count == 1
+        b.merge(a)
+        assert b.count == 1
+        assert b.mean == 1.0
+
+    def test_numerical_stability_with_offset(self):
+        stats = RunningStats()
+        base = 1e12
+        for value in (base + 1, base + 2, base + 3):
+            stats.record(value)
+        assert stats.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTimeWeightedStats:
+    def test_piecewise_constant_mean(self):
+        clock = {"t": 0.0}
+        stats = TimeWeightedStats(clock=lambda: clock["t"])
+        stats.record(0.0)
+        clock["t"] = 4.0
+        stats.record(10.0)  # was 0 for 4s
+        clock["t"] = 8.0
+        stats.record(0.0)  # was 10 for 4s
+        clock["t"] = 8.0
+        assert stats.mean == pytest.approx(5.0)
+
+    def test_mean_includes_current_segment(self):
+        clock = {"t": 0.0}
+        stats = TimeWeightedStats(clock=lambda: clock["t"])
+        stats.record(2.0)
+        clock["t"] = 10.0
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_reset_discards_history(self):
+        clock = {"t": 0.0}
+        stats = TimeWeightedStats(clock=lambda: clock["t"])
+        stats.record(100.0)
+        clock["t"] = 5.0
+        stats.reset()
+        clock["t"] = 10.0
+        assert stats.mean == pytest.approx(100.0)  # only current value remains
+        stats.record(0.0)
+        clock["t"] = 15.0
+        # 100 for 5 s since reset, then 0 for 5 s.
+        assert stats.mean == pytest.approx(50.0)
+
+    def test_backwards_clock_raises(self):
+        clock = {"t": 5.0}
+        stats = TimeWeightedStats(clock=lambda: clock["t"])
+        stats.record(1.0)
+        clock["t"] = 3.0
+        with pytest.raises(ValueError):
+            stats.record(2.0)
+
+    def test_min_max_track_values(self):
+        clock = {"t": 0.0}
+        stats = TimeWeightedStats(clock=lambda: clock["t"])
+        stats.record(5.0)
+        stats.record(-2.0)
+        stats.record(9.0)
+        assert stats.minimum == -2.0
+        assert stats.maximum == 9.0
+        assert stats.current == 9.0
+
+
+class TestBatchMeans:
+    def test_batches_close_at_size(self):
+        batches = BatchMeans(batch_size=3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0):
+            batches.record(value)
+        assert batches.completed_batches == 2
+        assert batches.batch_means == [2.0, 5.0]
+        assert batches.grand_mean == 3.5
+
+    def test_empty_grand_mean(self):
+        assert BatchMeans(5).grand_mean == 0.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchMeans(0)
+
+    def test_confidence_interval_brackets_mean(self):
+        batches = BatchMeans(batch_size=10)
+        for i in range(200):
+            batches.record(float(i % 7))
+        low, high = batches.confidence_interval()
+        assert low <= batches.grand_mean <= high
+
+
+class TestConfidenceInterval:
+    def test_empty_samples(self):
+        assert confidence_interval([]) == (0.0, 0.0)
+
+    def test_single_sample_degenerate(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_zero_variance_degenerate(self):
+        assert confidence_interval([2.0, 2.0, 2.0]) == (2.0, 2.0)
+
+    def test_symmetric_around_mean(self):
+        low, high = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert (low + high) / 2 == pytest.approx(3.0)
+        assert low < 3.0 < high
+
+    def test_higher_level_is_wider(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low95, high95 = confidence_interval(samples, 0.95)
+        low99, high99 = confidence_interval(samples, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_known_t_interval(self):
+        # n=4, mean=2.5, s=sqrt(5/3); t(0.975, 3)=3.1824
+        samples = [1.0, 2.0, 3.0, 4.0]
+        low, high = confidence_interval(samples)
+        s = math.sqrt(5.0 / 3.0)
+        half = 3.182446 * s / 2.0
+        assert high - low == pytest.approx(2 * half, rel=1e-4)
+
+
+class TestMserTruncation:
+    def test_detects_obvious_transient(self):
+        from repro.sim.stats import mser_truncation
+
+        warmup = [10.0] * 60  # inflated transient
+        steady = [1.0, 1.1, 0.9, 1.0] * 100
+        cut = mser_truncation(warmup + steady)
+        assert 50 <= cut <= 120
+
+    def test_stationary_data_needs_no_truncation(self):
+        from repro.sim.stats import mser_truncation
+
+        data = [1.0, 1.2, 0.8, 1.1, 0.9] * 60
+        assert mser_truncation(data) <= 10
+
+    def test_short_series_returns_zero(self):
+        from repro.sim.stats import mser_truncation
+
+        assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+    def test_truncation_is_multiple_of_batch(self):
+        from repro.sim.stats import mser_truncation
+
+        data = [5.0] * 37 + [1.0] * 200
+        cut = mser_truncation(data, batch_size=5)
+        assert cut % 5 == 0
+
+    def test_never_cuts_past_half(self):
+        from repro.sim.stats import mser_truncation
+
+        data = list(range(100))  # drifting data, no steady state
+        cut = mser_truncation(data, batch_size=5)
+        assert cut <= 50
+
+    def test_invalid_batch_size(self):
+        import pytest as _pytest
+
+        from repro.sim.stats import mser_truncation
+
+        with _pytest.raises(ValueError):
+            mser_truncation([1.0], batch_size=0)

@@ -1,0 +1,133 @@
+"""Unit tests for flow tracing (repro.sim.trace)."""
+
+import pytest
+
+from repro.core.admission import AdmissionResult
+from repro.flows.flow import AdmittedFlow, FlowRequest
+from repro.flows.group import AnycastGroup
+from repro.flows.qos import QoSRequirement
+from repro.sim.trace import CSV_COLUMNS, FlowRecord, TraceRecorder
+
+GROUP = AnycastGroup("A", (0, 4))
+
+
+def make_result(flow_id=0, admitted=True, attempts=1, destination=0, source=1):
+    request = FlowRequest(
+        flow_id=flow_id,
+        source=source,
+        group=GROUP,
+        qos=QoSRequirement(bandwidth_bps=64_000.0),
+        arrival_time=2.5,
+        lifetime_s=10.0,
+    )
+    flow = None
+    if admitted:
+        flow = AdmittedFlow(
+            request=request,
+            destination=destination,
+            path=(source, destination),
+            admitted_at=2.5,
+            attempts=attempts,
+        )
+    return AdmissionResult(
+        request=request, flow=flow, attempts=attempts, tried=(destination,)
+    )
+
+
+class TestFlowRecord:
+    def test_from_admitted_result(self):
+        record = FlowRecord.from_result(make_result(flow_id=7, attempts=2))
+        assert record.flow_id == 7
+        assert record.admitted
+        assert record.destination == 0
+        assert record.hop_count == 1
+        assert record.attempts == 2
+        assert record.lifetime_s == 10.0
+
+    def test_from_rejected_result(self):
+        record = FlowRecord.from_result(make_result(admitted=False))
+        assert not record.admitted
+        assert record.destination is None
+        assert record.hop_count == 0
+
+
+class TestTraceRecorder:
+    def test_record_and_query(self):
+        recorder = TraceRecorder()
+        recorder.record(make_result(flow_id=1, admitted=True, destination=0))
+        recorder.record(make_result(flow_id=2, admitted=False))
+        recorder.record(make_result(flow_id=3, admitted=True, destination=4))
+        assert len(recorder) == 3
+        assert len(recorder.admitted()) == 2
+        assert len(recorder.rejected()) == 1
+        assert [r.flow_id for r in recorder.by_destination(4)] == [3]
+        assert recorder.admission_probability() == pytest.approx(2 / 3)
+
+    def test_by_source(self):
+        recorder = TraceRecorder()
+        recorder.record(make_result(flow_id=1, source=1))
+        recorder.record(make_result(flow_id=2, source=3))
+        assert [r.flow_id for r in recorder.by_source(3)] == [2]
+
+    def test_empty_ap(self):
+        assert TraceRecorder().admission_probability() == 0.0
+
+    def test_fifo_eviction(self):
+        recorder = TraceRecorder(max_records=2)
+        for flow_id in range(5):
+            recorder.record(make_result(flow_id=flow_id))
+        assert len(recorder) == 2
+        assert recorder.total_seen == 5
+        assert recorder.evicted == 3
+        assert [r.flow_id for r in recorder] == [3, 4]
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_records=0)
+
+    def test_csv_roundtrip(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record(make_result(flow_id=1, admitted=True))
+        recorder.record(make_result(flow_id=2, admitted=False))
+        path = tmp_path / "trace.csv"
+        text = recorder.to_csv(str(path))
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(CSV_COLUMNS)
+        assert len(lines) == 3
+        assert lines[1].startswith("1,1,2.500000,1,0")
+        assert lines[2].startswith("2,1,2.500000,0,,0")
+
+
+class TestSimulationIntegration:
+    def test_trace_attached_to_simulation(self):
+        from repro.core.system import SystemSpec
+        from repro.flows.traffic import WorkloadSpec
+        from repro.network.topologies import (
+            MCI_GROUP_MEMBERS,
+            MCI_SOURCES,
+            mci_backbone,
+        )
+        from repro.sim.simulation import AnycastSimulation
+
+        trace = TraceRecorder()
+        workload = WorkloadSpec(
+            arrival_rate=20.0,
+            sources=MCI_SOURCES,
+            group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+            mean_lifetime_s=30.0,
+        )
+        simulation = AnycastSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec("ED", retrials=2),
+            workload=workload,
+            warmup_s=20.0,
+            measure_s=80.0,
+            seed=1,
+            trace=trace,
+        )
+        result = simulation.run()
+        assert len(trace) == result.requests
+        assert trace.admission_probability() == pytest.approx(
+            result.admission_probability
+        )

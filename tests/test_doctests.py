@@ -1,0 +1,25 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.erlang
+import repro.flows.qos
+import repro.sim.engine
+import repro.sim.process
+import repro.sim.stats
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.process,
+    repro.sim.stats,
+    repro.analysis.erlang,
+    repro.flows.qos,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
