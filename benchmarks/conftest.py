@@ -11,6 +11,10 @@ transients shrink six-fold.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Pass ``--workers N`` to fan each benchmark's replications and sweep
+points out over ``N`` processes; results are bit-identical to the
+serial run (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -26,6 +30,18 @@ SCALE = 6.0
 RATES = tuple(SCALE * rate for rate in (5.0, 20.0, 35.0, 50.0))
 #: Heavier subset for ablations.
 HEAVY_RATE = SCALE * 35.0
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process count for the experiment runner inside the "
+            "benchmarks (1 = serial; results are identical)"
+        ),
+    )
 
 
 def bench_config(seed: int = 2001, **overrides) -> ExperimentConfig:
@@ -44,5 +60,5 @@ def bench_config(seed: int = 2001, **overrides) -> ExperimentConfig:
 
 
 @pytest.fixture
-def config() -> ExperimentConfig:
-    return bench_config()
+def config(request) -> ExperimentConfig:
+    return bench_config(workers=request.config.getoption("--workers"))

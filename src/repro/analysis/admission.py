@@ -152,7 +152,11 @@ def _sequential_trial_model(
         for i in remaining:
             if weights[i] <= 0.0:
                 continue
-            pick = reach_probability * weights[i] / total_weight
+            # Divide before multiplying: the share is always in [0, 1],
+            # whereas reach * weight can underflow for subnormal weights
+            # and the subsequent division then inflates the branch past
+            # its parent's probability (or silently drops its mass).
+            pick = reach_probability * (weights[i] / total_weight)
             attempt_probability[i] += pick
             success = pick * (1.0 - rejections[i])
             admitted += success

@@ -61,6 +61,13 @@ def erlang_b(load_erlangs: float, capacity: int) -> float:
 #: switches to exact Erlang-B (see module docstring).
 _CRITICAL_WINDOW = 0.02
 
+#: F(z*) below which exp(F) nears the subnormal range (~1e-304).  The
+#: M formula then relies on a cancellation between 0.5*erfc(sqrt(-F))
+#: and the -1/sqrt(-2F) correction, both of order exp(F); once they
+#: are subnormal the cancellation loses all precision (B can come out
+#: past 1 where the true limit is 1 - C/v), so we use exact Erlang-B.
+_UNDERFLOW_F = -700.0
+
 
 def uaa_blocking(load_erlangs: float, capacity: int) -> float:
     """Uniform Asymptotic Approximation of Erlang-B (paper eqs. 23-29).
@@ -96,6 +103,8 @@ def uaa_blocking(load_erlangs: float, capacity: int) -> float:
     if abs(z_star - 1.0) < _CRITICAL_WINDOW:
         return erlang_b(v, capacity)
     f_star = v * (z_star - 1.0) - c * math.log(z_star)  # always <= 0
+    if f_star < _UNDERFLOW_F:
+        return erlang_b(v, capacity)
     variance = v * z_star  # V(z*) = C
     sign = 1.0 if z_star < 1.0 else -1.0  # sgn(1 - z*)
     sqrt_neg_f = math.sqrt(max(0.0, -f_star))

@@ -48,7 +48,11 @@ class AtomicReservationEngine:
         self.attempts += 1
         if bandwidth_bps < 0:
             raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
-        success = self.network.reserve_path(route.path, flow_id, bandwidth_bps)
+        # The route caches its resolved link objects, so repeated
+        # attempts skip the per-hop (u, v) dict lookups entirely.
+        success = self.network.reserve_links(
+            route.resolve_links(self.network), flow_id, bandwidth_bps
+        )
         if not success:
             self.failures += 1
         return success

@@ -322,6 +322,7 @@ class DistanceBandwidthWeighted(_WeightedSelectorBase):
     ):
         super().__init__(context)
         self._distances = [float(d) for d in context.routes.distances()]
+        self._routes = context.routes.routes()
         if view is None:
             from repro.network.state import LiveBandwidthView
 
@@ -329,10 +330,10 @@ class DistanceBandwidthWeighted(_WeightedSelectorBase):
         self.view = view
 
     def weights(self) -> list[float]:
-        routes = self.context.routes.routes()
+        routes = self._routes
         scores = []
         for route, distance in zip(routes, self._distances):
-            bandwidth = self.view.path_available_bps(route.path)
+            bandwidth = self.view.route_available_bps(route)
             if distance == 0:
                 # Zero-hop route: free to use; dominate the weights.
                 return [
@@ -375,6 +376,7 @@ class HybridWeighted(_WeightedSelectorBase):
         self.alpha = alpha
         self.history = AdmissionHistory(context.group)
         self._distances = [float(d) for d in context.routes.distances()]
+        self._routes = context.routes.routes()
         if view is None:
             from repro.network.state import LiveBandwidthView
 
@@ -382,7 +384,7 @@ class HybridWeighted(_WeightedSelectorBase):
         self.view = view
 
     def weights(self) -> list[float]:
-        routes = self.context.routes.routes()
+        routes = self._routes
         counters = self.history.counters()
         scores = []
         for route, distance, failures in zip(
@@ -390,7 +392,7 @@ class HybridWeighted(_WeightedSelectorBase):
         ):
             if distance == 0:
                 return [1.0 if r.distance == 0 else 0.0 for r in routes]
-            bandwidth = max(0.0, self.view.path_available_bps(route.path))
+            bandwidth = max(0.0, self.view.route_available_bps(route))
             scores.append((bandwidth / distance) * self.alpha**failures)
         total = sum(scores)
         if total <= 0:

@@ -47,6 +47,13 @@ ABLATION_TARGETS = {
 }
 
 
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-anycast",
@@ -74,6 +81,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scaled-down horizons (seconds instead of minutes per figure)",
     )
     parser.add_argument("--seed", type=int, default=2001, help="root random seed")
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "process count for the experiment runner; replications and "
+            "sweep points fan out over a pool with bit-identical "
+            "results (1 = serial)"
+        ),
+    )
     parser.add_argument(
         "--algorithm",
         choices=ALGORITHM_NAMES,
@@ -108,6 +125,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-anycast`` console script."""
     args = _build_parser().parse_args(argv)
     config = quick_config(args.seed) if args.quick else paper_config(args.seed)
+    if args.workers != 1:
+        config = config.scaled(workers=args.workers)
 
     targets: list[str]
     if args.target == "all":

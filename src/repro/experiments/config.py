@@ -77,6 +77,11 @@ class ExperimentConfig:
     bandwidth_classes:
         Optional ``(bandwidth_bps, probability)`` mix; ``None`` is the
         paper's single 64 kbit/s class.
+    workers:
+        Process count for the experiment runner.  1 (default) runs
+        serially in-process; > 1 fans independent replications and
+        sweep points out over a :mod:`multiprocessing` pool with
+        bit-identical results (see :mod:`repro.experiments.parallel`).
     """
 
     topology: str = "mci"
@@ -92,6 +97,7 @@ class ExperimentConfig:
     retrial_limits: tuple = PAPER_RETRIAL_LIMITS
     source_weights: tuple = None
     bandwidth_classes: tuple = None
+    workers: int = 1
 
     def __post_init__(self):
         if self.topology not in TOPOLOGY_FACTORIES:
@@ -101,6 +107,8 @@ class ExperimentConfig:
             )
         if self.replications < 1:
             raise ValueError(f"replications must be >= 1, got {self.replications}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         object.__setattr__(self, "sources", tuple(self.sources))
         object.__setattr__(self, "group_members", tuple(self.group_members))
         object.__setattr__(self, "arrival_rates", tuple(self.arrival_rates))

@@ -75,31 +75,46 @@ class SweepResult:
         raise KeyError(f"no point at arrival rate {arrival_rate}")
 
 
-def run_point(
+def run_replication(
     spec: SystemSpec,
     arrival_rate: float,
     config: ExperimentConfig,
-) -> PointResult:
-    """Run ``spec`` at ``arrival_rate`` with replications.
+    replication: int,
+) -> SimulationResult:
+    """Run the ``replication``-th independent simulation of one point.
 
     Replication ``i`` uses seed ``config.seed + i`` for every stream,
     so different systems at the same replication index share identical
     arrival/lifetime/source sequences (common random numbers — the
     same variance-reduction the paper gets by comparing systems inside
-    one simulator).
+    one simulator).  Each replication is fully self-contained (its own
+    network, system and streams), which is what lets the parallel
+    runner execute them in worker processes with identical results.
     """
-    workload = config.workload(arrival_rate)
-    runs: list[SimulationResult] = []
-    for replication in range(config.replications):
-        simulation = AnycastSimulation(
-            network_factory=config.network_factory(),
-            system_spec=spec,
-            workload=workload,
-            warmup_s=config.warmup_s,
-            measure_s=config.measure_s,
-            seed=config.seed + replication,
-        )
-        runs.append(simulation.run())
+    simulation = AnycastSimulation(
+        network_factory=config.network_factory(),
+        system_spec=spec,
+        workload=config.workload(arrival_rate),
+        warmup_s=config.warmup_s,
+        measure_s=config.measure_s,
+        seed=config.seed + replication,
+    )
+    return simulation.run()
+
+
+def aggregate_point(
+    spec: SystemSpec,
+    arrival_rate: float,
+    config: ExperimentConfig,
+    runs: Sequence[SimulationResult],
+) -> PointResult:
+    """Fold per-replication results into one :class:`PointResult`.
+
+    ``runs`` must be in replication order; the arithmetic is shared by
+    the serial and parallel runners so both produce bit-identical
+    aggregates.
+    """
+    runs = list(runs)
     aps = [run.admission_probability for run in runs]
     retrials = [run.mean_retrials for run in runs]
     attempts = [run.mean_attempts for run in runs]
@@ -122,18 +137,59 @@ def run_point(
     )
 
 
+def run_point(
+    spec: SystemSpec,
+    arrival_rate: float,
+    config: ExperimentConfig,
+    workers: Optional[int] = None,
+) -> PointResult:
+    """Run ``spec`` at ``arrival_rate`` with replications.
+
+    Parameters
+    ----------
+    workers:
+        Process count for fanning replications out; ``None`` defers to
+        ``config.workers`` (default 1 = the serial in-process path).
+        Results are bit-identical for any worker count — see
+        :mod:`repro.experiments.parallel`.
+    """
+    effective_workers = config.workers if workers is None else workers
+    if effective_workers > 1 and config.replications > 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        return ParallelRunner(workers=effective_workers).run_point(
+            spec, arrival_rate, config
+        )
+    runs = [
+        run_replication(spec, arrival_rate, config, replication)
+        for replication in range(config.replications)
+    ]
+    return aggregate_point(spec, arrival_rate, config, runs)
+
+
 def sweep(
     specs: Sequence[SystemSpec],
     config: ExperimentConfig,
     arrival_rates: Optional[Sequence[float]] = None,
+    workers: Optional[int] = None,
 ) -> list[SweepResult]:
     """Run every system over the lambda grid.
 
-    Returns one :class:`SweepResult` per spec, in input order.
+    Returns one :class:`SweepResult` per spec, in input order.  With
+    ``workers > 1`` (or ``config.workers > 1``) every independent
+    ``(system, rate, replication)`` simulation of the grid is executed
+    on a process pool; the series are bit-identical to a serial sweep.
     """
     rates = tuple(arrival_rates) if arrival_rates is not None else config.arrival_rates
+    effective_workers = config.workers if workers is None else workers
+    if effective_workers > 1:
+        from repro.experiments.parallel import ParallelRunner
+
+        return ParallelRunner(workers=effective_workers).sweep(specs, config, rates)
     results = []
     for spec in specs:
-        points = tuple(run_point(spec, rate, config) for rate in rates)
+        points = tuple(
+            run_point(spec, rate, config, workers=1) for rate in rates
+        )
         results.append(SweepResult(system_label=spec.label, points=points))
     return results

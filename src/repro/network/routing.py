@@ -184,6 +184,12 @@ def _restricted_bfs(
 class Route:
     """A fixed route from a source to one anycast-group member.
 
+    Routes are static once built (the paper's fixed-path assumption),
+    so the directed :class:`~repro.network.link.Link` objects and the
+    ``(u, v)`` key pairs of the path are resolved once and cached —
+    the reservation and bandwidth-view hot paths would otherwise
+    repeat the per-hop dict lookups on every admission attempt.
+
     Attributes
     ----------
     source:
@@ -197,6 +203,11 @@ class Route:
     source: NodeId
     destination: NodeId
     path: tuple
+    _links: Optional[tuple] = field(default=None, compare=False, repr=False)
+    _links_network: Optional[Network] = field(
+        default=None, compare=False, repr=False
+    )
+    _link_keys: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     @property
     def distance(self) -> int:
@@ -206,9 +217,34 @@ class Route:
         """
         return max(0, len(self.path) - 1)
 
+    def resolve_links(self, network: Network) -> tuple:
+        """Directed link objects of the path, cached per network.
+
+        The cache is keyed by network identity, so a route queried
+        against a different network instance re-resolves (and re-caches
+        for that instance).
+        """
+        if self._links is not None and self._links_network is network:
+            return self._links
+        links = tuple(network.path_links(self.path))
+        object.__setattr__(self, "_links", links)
+        object.__setattr__(self, "_links_network", network)
+        return links
+
+    def link_keys(self) -> tuple:
+        """Directed ``(u, v)`` pairs of the path, cached."""
+        keys = self._link_keys
+        if keys is None:
+            keys = tuple(zip(self.path, self.path[1:]))
+            object.__setattr__(self, "_link_keys", keys)
+        return keys
+
     def bottleneck_bps(self, network: Network) -> float:
         """Route bandwidth ``B_i = min over links of AB_l`` (eq. 11)."""
-        return network.path_available_bps(self.path)
+        links = self.resolve_links(network)
+        if not links:
+            return float("inf")
+        return min(link.available_bps for link in links)
 
     def __str__(self) -> str:
         return "->".join(str(node) for node in self.path)
@@ -235,9 +271,14 @@ class RouteTable:
                     f"no path from {source!r} to group member {member!r}"
                 )
             route = Route(source=source, destination=member, path=tuple(path))
+            # Warm the per-route link cache against the owning network
+            # so the admission hot path never resolves hops again.
+            route.resolve_links(network)
+            route.link_keys()
             self._routes[member] = route
             ordered.append(member)
         self.members: tuple = tuple(ordered)
+        self._route_list: list[Route] = [self._routes[m] for m in self.members]
 
     def route_to(self, member: NodeId) -> Route:
         """The fixed route to ``member``."""
@@ -248,7 +289,7 @@ class RouteTable:
 
     def routes(self) -> list[Route]:
         """All routes, in group-member order."""
-        return [self._routes[member] for member in self.members]
+        return list(self._route_list)
 
     def distances(self) -> list[int]:
         """Route distances ``D_1..D_K`` in member order."""

@@ -20,9 +20,12 @@ WD/D+B's advantage erodes as its information ages.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from repro.network.topology import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.routing import Route
 
 
 class BandwidthView(Protocol):
@@ -30,6 +33,10 @@ class BandwidthView(Protocol):
 
     def path_available_bps(self, path: Sequence) -> float:
         """Bottleneck available bandwidth of ``path`` as this view sees it."""
+        ...
+
+    def route_available_bps(self, route: "Route") -> float:
+        """Bottleneck bandwidth of a fixed :class:`Route` (hot path)."""
         ...
 
 
@@ -42,6 +49,17 @@ class LiveBandwidthView:
     def path_available_bps(self, path: Sequence) -> float:
         """Current bottleneck bandwidth of ``path``."""
         return self._network.path_available_bps(path)
+
+    def route_available_bps(self, route: "Route") -> float:
+        """Current bottleneck bandwidth of ``route``.
+
+        Uses the route's cached link objects, skipping the per-hop
+        dict lookups that :meth:`path_available_bps` pays per query.
+        """
+        links = route.resolve_links(self._network)
+        if not links:
+            return float("inf")
+        return min(link.available_bps for link in links)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LiveBandwidthView()"
@@ -105,6 +123,15 @@ class SnapshotBandwidthView:
         return min(
             self._snapshot[(u, v)] for u, v in zip(path, path[1:])
         )
+
+    def route_available_bps(self, route: "Route") -> float:
+        """Snapshot bottleneck of ``route`` via its cached link keys."""
+        self._maybe_refresh()
+        keys = route.link_keys()
+        if not keys:
+            return float("inf")
+        snapshot = self._snapshot
+        return min(snapshot[key] for key in keys)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -169,8 +169,20 @@ class Network:
         reserved before the failing hop are rolled back).  Returns
         ``True`` on success.
         """
+        return self.reserve_links(self.path_links(path), flow_id, bandwidth_bps)
+
+    def reserve_links(
+        self, links: Sequence[Link], flow_id: FlowId, bandwidth_bps: float
+    ) -> bool:
+        """Atomically reserve on pre-resolved ``links`` (all-or-nothing).
+
+        The hot-path variant of :meth:`reserve_path` for callers that
+        hold the link objects already (e.g. a cached
+        :class:`~repro.network.routing.Route`), skipping the per-hop
+        dict lookups of :meth:`path_links`.
+        """
         reserved: list[Link] = []
-        for link in self.path_links(path):
+        for link in links:
             try:
                 link.reserve(flow_id, bandwidth_bps)
             except InsufficientBandwidthError:

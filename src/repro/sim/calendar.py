@@ -38,6 +38,7 @@ class CalendarQueue:
         self._width = float(initial_width)
         self._buckets: list[list[Event]] = [[] for _ in range(self._MIN_BUCKETS)]
         self._count = 0
+        self._live = 0
         self._last_time = 0.0
         # Index of the bucket the next dequeue scans first, and the
         # absolute "year" bound it represents.
@@ -50,6 +51,14 @@ class CalendarQueue:
 
     def push(self, event: Event) -> None:
         """Insert an event (its ``time`` must be >= the last pop)."""
+        event._owner = self
+        self._live += 1
+        self._insert(event)
+        if self._count > 2 * len(self._buckets):
+            self._resize(2 * len(self._buckets))
+
+    def _insert(self, event: Event) -> None:
+        """Place an event in its bucket without ownership bookkeeping."""
         index = int(event.time / self._width) % len(self._buckets)
         bucket = self._buckets[index]
         # Buckets are kept sorted (time, sequence); insertion keeps the
@@ -66,8 +75,6 @@ class CalendarQueue:
                     high = mid
             bucket.insert(low, event)
         self._count += 1
-        if self._count > 2 * len(self._buckets):
-            self._resize(2 * len(self._buckets))
 
     def pop_min(self) -> Optional[Event]:
         """Remove and return the earliest live event (``None`` if empty)."""
@@ -85,6 +92,8 @@ class CalendarQueue:
                 if bucket and bucket[0].time < self._cursor_top + step * self._width:
                     event = bucket.pop(0)
                     self._count -= 1
+                    event._owner = None
+                    self._live -= 1
                     self._cursor = index
                     self._cursor_top = (
                         math.floor(event.time / self._width) + 1
@@ -121,14 +130,19 @@ class CalendarQueue:
     def clear(self) -> None:
         """Drop every pending event."""
         for bucket in self._buckets:
+            for event in bucket:
+                event._owner = None
             bucket.clear()
         self._count = 0
+        self._live = 0
 
     def live_count(self) -> int:
-        """Number of pending, not-cancelled events."""
-        return sum(
-            1 for bucket in self._buckets for event in bucket if not event.cancelled
-        )
+        """Number of pending, not-cancelled events (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """A still-queued event was cancelled (called by the event)."""
+        self._live -= 1
 
     # ------------------------------------------------------------------
     def _drop_cancelled(self) -> None:
@@ -153,8 +167,10 @@ class CalendarQueue:
         self._cursor_top = (
             math.floor(self._last_time / self._width) + 1
         ) * self._width
+        # _insert skips the live counter: the surviving events are
+        # already counted (cancelled ones were decremented at cancel).
         for event in events:
-            self.push(event)
+            self._insert(event)
 
     @staticmethod
     def _estimate_width(sorted_events: list[Event]) -> float:

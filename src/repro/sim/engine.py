@@ -41,7 +41,9 @@ class Event:
     """A scheduled callback, returned by :meth:`Simulator.schedule`.
 
     Events support O(1) cancellation: cancelling marks the event dead
-    and the event loop skips it when it surfaces in the queue.
+    and the event loop skips it when it surfaces in the queue.  The
+    owning pending-event set is notified so its live-event counter
+    stays exact without scanning.
 
     Attributes
     ----------
@@ -51,17 +53,24 @@ class Event:
         Zero-argument callable invoked at ``time``.
     """
 
-    __slots__ = ("time", "callback", "_sequence", "_cancelled")
+    __slots__ = ("time", "callback", "_sequence", "_cancelled", "_owner")
 
     def __init__(self, time: float, callback: Callable[[], Any], sequence: int):
         self.time = time
         self.callback = callback
         self._sequence = sequence
         self._cancelled = False
+        self._owner = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self._cancelled:
+            return
         self._cancelled = True
+        owner = self._owner
+        if owner is not None:
+            self._owner = None
+            owner._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -83,12 +92,15 @@ class HeapQueue:
 
     def __init__(self):
         self._heap: list[Event] = []
+        self._live = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, event: Event) -> None:
         """Insert an event."""
+        event._owner = self
+        self._live += 1
         heapq.heappush(self._heap, event)
 
     def pop_min(self) -> Optional[Event]:
@@ -96,6 +108,8 @@ class HeapQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._owner = None
+                self._live -= 1
                 return event
         return None
 
@@ -109,11 +123,18 @@ class HeapQueue:
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for event in self._heap:
+            event._owner = None
         self._heap.clear()
+        self._live = 0
 
     def live_count(self) -> int:
-        """Number of pending, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of pending, not-cancelled events (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """A still-queued event was cancelled (called by the event)."""
+        self._live -= 1
 
 
 def _make_queue(kind: str):
@@ -243,7 +264,12 @@ class Simulator:
         until:
             If given, stop once the next event would fire strictly
             after ``until`` and advance the clock to exactly ``until``.
-            Events scheduled at ``until`` itself *are* executed.
+            Events scheduled at ``until`` itself *are* executed.  The
+            clock only jumps to ``until`` when the queue is drained
+            past it — if :meth:`stop` or ``max_events`` ended the run
+            with events still pending at or before ``until``, the
+            clock stays at the last executed event so a later
+            :meth:`run` resumes without moving time backwards.
         max_events:
             Optional hard cap on the number of events to execute, a
             guard against accidental infinite event cascades.
@@ -271,7 +297,9 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
-            self._now = until
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > until:
+                self._now = until
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

@@ -132,8 +132,12 @@ class MetricsCollector:
 class SimulationResult:
     """Summary of one simulation run, as the experiment harness reports it.
 
-    Attributes mirror the paper's metrics; ``link_utilization`` maps
-    each directed link to its instantaneous end-of-run utilization.
+    Attributes mirror the paper's metrics.  ``mean_active_flows`` is
+    the time-weighted average concurrent-flow count over the
+    measurement window only (the warm-up ramp is dropped at
+    ``warmup_s``).  ``link_utilization`` maps each directed link to
+    its *instantaneous* utilization at the measurement horizon — a
+    point-in-time snapshot, not a time-weighted average.
     """
 
     system_label: str

@@ -239,6 +239,13 @@ class AnycastSimulation:
         self._ran = True
         if self._fault_injector is not None:
             self._fault_injector.start()
+        # Drop the warm-up ramp from the occupancy statistic: the AP
+        # metrics already filter on arrival_time >= warmup_s, but the
+        # time-weighted active-flow average would otherwise keep the
+        # empty-network transient in its integral and bias the mean
+        # low.  The reset keeps the current occupancy as the value at
+        # the start of the measurement window.
+        self.simulator.schedule_at(self.warmup_s, self.metrics.active_flows.reset)
         self._schedule_next_arrival()
         self.simulator.run(until=self.horizon_s)
         if self._fault_injector is not None:
@@ -246,13 +253,15 @@ class AnycastSimulation:
             # drain the remaining departures with an unbounded run().
             self._fault_injector.stop()
         ci_low, ci_high = self.metrics.admission_probability_ci()
-        total_admitted = max(self.metrics.admitted, 1)
         destination_share = {
             destination: count / self.metrics.admitted
             for destination, count in sorted(
                 self.metrics.destination_counts.items(), key=lambda kv: repr(kv[0])
             )
         } if self.metrics.admitted else {}
+        # Instantaneous utilization at the measurement horizon, not a
+        # time-weighted average: it answers "what did the network look
+        # like at the end of the run" (see SimulationResult docs).
         link_utilization = {
             (link.source, link.target): link.utilization
             for link in self.network.links()

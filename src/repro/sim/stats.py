@@ -167,6 +167,15 @@ class TimeWeightedStats:
         return self._last_value
 
     @property
+    def total_time(self) -> float:
+        """Observation time accumulated since construction or :meth:`reset`."""
+        total = self._total_time
+        now = self._clock()
+        if self._last_time is not None and now > self._last_time:
+            total += now - self._last_time
+        return total
+
+    @property
     def minimum(self) -> float:
         """Smallest recorded value."""
         return self._min

@@ -84,6 +84,15 @@ class TestUaaBlocking:
         load = float(capacity)  # z* == 1
         assert uaa_blocking(load, capacity) == erlang_b(load, capacity)
 
+    def test_extreme_overload_delegates_to_exact(self):
+        # Regression: at load/capacity ~ 7.3, F(z*) ~ -740 puts exp(F)
+        # in the subnormal range where the M cancellation loses all
+        # precision and the approximation clamped to 1.0 instead of
+        # tracking the heavy-traffic limit 1 - C/v.
+        assert uaa_blocking(1252.0, 171) == erlang_b(1252.0, 171)
+        exact = erlang_b(1300.0, 150)
+        assert uaa_blocking(1300.0, 150) == pytest.approx(exact, rel=1e-9)
+
     def test_zero_load(self):
         assert uaa_blocking(0.0, 312) == 0.0
 

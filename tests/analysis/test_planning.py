@@ -9,6 +9,8 @@ from repro.flows.group import AnycastGroup
 from repro.flows.traffic import WorkloadSpec
 from repro.network.topologies import MCI_GROUP_MEMBERS, MCI_SOURCES, mci_backbone
 
+pytestmark = pytest.mark.slow  # minutes-long simulations; skip with -m 'not slow'
+
 
 @pytest.fixture(scope="module")
 def workload():

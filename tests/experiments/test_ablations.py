@@ -16,6 +16,8 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.config import quick_config
 
+pytestmark = pytest.mark.slow  # minutes-long simulations; skip with -m 'not slow'
+
 
 @pytest.fixture(scope="module")
 def tiny():

@@ -31,6 +31,20 @@ class TestCli:
         assert "TAB2" in out
         assert "analysis - simulation" in out
 
+    def test_workers_flag_accepted(self, capsys):
+        exit_code = main(
+            [
+                "run", "--quick", "--algorithm", "SP", "--rate", "10",
+                "--seed", "3", "--workers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "AP=" in capsys.readouterr().out
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--quick", "--workers", "0"])
+
     def test_invalid_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

@@ -6,6 +6,8 @@ from repro.analysis.erlang import uaa_blocking
 from repro.experiments.config import quick_config
 from repro.experiments.tables import ALL_TABLES, table1, table2
 
+pytestmark = pytest.mark.slow  # minutes-long simulations; skip with -m 'not slow'
+
 
 # AP in a loss network depends on the offered load lambda/mu only, so
 # the tests shrink lifetimes 6x and scale lambda up 6x: identical loads

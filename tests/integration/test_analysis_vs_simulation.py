@@ -23,6 +23,8 @@ from repro.network.topologies import (
 )
 from repro.sim.simulation import run_simulation
 
+pytestmark = pytest.mark.slow  # minutes-long simulations; skip with -m 'not slow'
+
 
 def compare(network_factory, workload, spec, seed=55, tolerance=0.03):
     analysis = analyze_system(network_factory(), workload, spec)

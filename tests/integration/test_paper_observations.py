@@ -12,6 +12,8 @@ from repro.core.system import SystemSpec
 from repro.experiments.config import quick_config
 from repro.experiments.runner import run_point
 
+pytestmark = pytest.mark.slow  # minutes-long simulations; skip with -m 'not slow'
+
 #: Offered-load-preserving rescaling: lifetime 180 s -> 30 s, rates x6.
 CONFIG = quick_config(seed=101).scaled(
     mean_lifetime_s=30.0, warmup_s=150.0, measure_s=450.0

@@ -171,3 +171,42 @@ class TestSimulatorIntegration:
         )
         assert heap_result.requests == calendar_result.requests
         assert heap_result.destination_share == calendar_result.destination_share
+
+
+class TestLiveCountMaintenance:
+    """The calendar's live_count is a maintained counter; resizing and
+    lazy cancellation purges must keep it exact."""
+
+    def test_live_count_survives_resize(self):
+        queue = CalendarQueue()
+        events = [make_event(float(i), i) for i in range(40)]
+        for event in events:
+            queue.push(event)  # triggers doubling resizes
+        assert queue.live_count() == 40
+        for event in events[::2]:
+            event.cancel()
+        assert queue.live_count() == 20
+        popped = 0
+        while queue.pop_min() is not None:
+            popped += 1
+        assert popped == 20
+        assert queue.live_count() == 0
+
+    def test_cancel_after_pop_is_a_counting_noop(self):
+        queue = CalendarQueue()
+        event = make_event(1.0, 0)
+        queue.push(event)
+        assert queue.pop_min() is event
+        event.cancel()
+        assert queue.live_count() == 0
+
+    def test_cancelled_then_purged_counts_once(self):
+        queue = CalendarQueue()
+        drop = make_event(1.0, 0)
+        keep = make_event(2.0, 1)
+        queue.push(drop)
+        queue.push(keep)
+        drop.cancel()
+        assert queue.live_count() == 1
+        assert queue.peek_time() == 2.0  # purges the cancelled head
+        assert queue.live_count() == 1

@@ -204,3 +204,77 @@ class TestCascades:
         sim = Simulator()
         sim.run(until=10.0)
         assert sim.now == 10.0
+
+
+class TestMaxEventsClockRegression:
+    """``run(until=..., max_events=...)`` must not jump the clock past
+    still-pending events: doing so made a later ``run()`` execute those
+    events with time moving backwards."""
+
+    def test_clock_stays_at_last_event_when_cap_fires(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=10.0, max_events=2)
+        assert sim.now == 2.0
+        assert sim.pending_count == 1
+
+    def test_resumed_run_never_moves_time_backwards(self):
+        sim = Simulator()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: fired.append(sim.now))
+        sim.run(until=10.0, max_events=2)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert fired == sorted(fired)
+        assert sim.now == 10.0
+
+    def test_clock_advances_to_until_when_cap_not_hit(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0, max_events=5)
+        assert sim.now == 10.0
+
+    def test_time_weighted_stats_survive_capped_run(self):
+        """The original symptom: TimeWeightedStats raised
+        'clock moved backwards' when recording in the resumed run."""
+        from repro.sim.stats import TimeWeightedStats
+
+        sim = Simulator()
+        stats = TimeWeightedStats(clock=lambda: sim.now)
+        stats.record(0.0)
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: stats.record(1.0))
+        sim.run(until=10.0, max_events=2)
+        sim.run(until=10.0)
+        assert 0.0 < stats.mean < 1.0
+
+
+class TestLiveCountMaintenance:
+    """pending_count is now a maintained counter; these pin the
+    bookkeeping against every path that could skew it."""
+
+    def test_cancel_after_fire_is_a_counting_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        handle.cancel()
+        assert sim.pending_count == 1
+
+    def test_cancel_after_clear_is_a_counting_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        handle.cancel()
+        assert sim.pending_count == 0
+
+    def test_interleaved_cancel_schedule_run_exact(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for handle in handles[::2]:
+            handle.cancel()
+        assert sim.pending_count == 5
+        sim.run(until=4.0)  # fires the live events at 2.0 and 4.0
+        assert sim.pending_count == 3

@@ -152,3 +152,27 @@ class TestSaturation:
             seed=0,
         )
         assert result.admission_probability == 1.0
+
+
+class TestWarmupOccupancyReset:
+    """mean_active_flows must cover only the measurement window — the
+    empty-network warm-up ramp used to stay in the time-weighted
+    integral and bias the occupancy mean low."""
+
+    def test_occupancy_stats_cover_measurement_window_only(self):
+        simulation = quick_sim(warmup_s=100.0, measure_s=200.0)
+        simulation.run()
+        observed = simulation.metrics.active_flows.total_time
+        assert observed == pytest.approx(200.0, rel=1e-9)
+
+    def test_warmup_ramp_does_not_bias_mean_down(self):
+        """A long warm-up must not change the occupancy estimate much,
+        while folding its ramp in would drag it towards zero."""
+        short = quick_sim(warmup_s=50.0, measure_s=300.0, seed=9).run()
+        long = quick_sim(warmup_s=400.0, measure_s=300.0, seed=9).run()
+        assert long.mean_active_flows == pytest.approx(
+            short.mean_active_flows, rel=0.25
+        )
+        # And both sit near the loss-network steady state, far from the
+        # ramp-diluted value (which would be well under 80% of it).
+        assert long.mean_active_flows > 0.8 * short.mean_active_flows
