@@ -110,3 +110,80 @@ def test_engine_event_throughput_calendar_queue(benchmark):
         return state["n"]
 
     assert benchmark(run_chain) == 10_000
+
+
+def _run_hold_pattern(queue_kind, events=20_000, pending=2_000):
+    """Dispatch ``events`` while keeping ``pending`` timers in flight.
+
+    This is the loss-network steady state — a large stable population
+    of departure timers — and the workload where pending-event set
+    data structures actually differ.
+    """
+    import random
+
+    sim = Simulator(queue=queue_kind)
+    rng = random.Random(20010405)
+    state = {"n": 0}
+
+    def fire():
+        state["n"] += 1
+        if state["n"] + pending <= events:
+            sim.schedule(rng.expovariate(1.0), fire)
+
+    for _ in range(pending):
+        sim.schedule(rng.expovariate(1.0), fire)
+    sim.run()
+    return state["n"]
+
+
+def test_engine_hold_pattern_heap(benchmark):
+    """Heap engine under a constant 2k-pending-event population."""
+    assert benchmark(_run_hold_pattern, "heap") == 20_000
+
+
+def test_engine_hold_pattern_calendar(benchmark):
+    """Calendar engine under the same hold pattern (amortized O(1))."""
+    assert benchmark(_run_hold_pattern, "calendar") == 20_000
+
+
+def test_fixed_point_grid_speed(benchmark):
+    """Vectorized solve_grid over a 20-point offered-load sweep."""
+    network = mci_backbone()
+    capacities = {
+        (l.source, l.target): int(l.capacity_bps // 64_000) for l in network.links()
+    }
+    routes = []
+    for source in MCI_SOURCES:
+        table = RouteTable(network, source, MCI_GROUP_MEMBERS)
+        for route in table.routes():
+            links = tuple(zip(route.path, route.path[1:]))
+            routes.append(RouteLoad(links=links, load_erlangs=50.0))
+    solver = ReducedLoadSolver(capacities, routes)
+    scales = [0.25 + 5.75 * i / 19 for i in range(20)]
+
+    solutions = benchmark(solver.solve_grid, scales)
+    assert len(solutions) == 20
+    assert all(s.converged for s in solutions)
+
+
+def test_bottleneck_scan_speed(benchmark):
+    """WD/D+B's per-request scan: bottleneck of every route in a table."""
+    from repro.network.state import LiveBandwidthView
+
+    network = mci_backbone()
+    view = LiveBandwidthView(network)
+    tables = [
+        RouteTable(network, source, MCI_GROUP_MEMBERS) for source in MCI_SOURCES
+    ]
+    routes = [route for table in tables for route in table.routes()]
+    # Put some load on the network so scans read non-trivial state.
+    for i, route in enumerate(routes):
+        network.reserve_path(route.path, ("bg", i), 64_000.0)
+
+    def scan():
+        total = 0.0
+        for route in routes:
+            total += view.route_available_bps(route)
+        return total
+
+    assert benchmark(scan) > 0.0

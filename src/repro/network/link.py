@@ -11,19 +11,78 @@ travel.  Each link keeps a ledger mapping flow identifiers to granted
 bandwidth so releases are exact, double-reservations are caught, and
 heterogeneous per-flow bandwidths are supported even though the
 paper's experiments use a single 64 kbit/s class.
+
+Bandwidth *accounting*, however, does not live on the link objects:
+every link in a network shares one :class:`LinkStateArrays` — a
+columnar store of capacity and reserved totals indexed by a dense
+integer link id assigned at construction.  The admission hot paths
+(:meth:`repro.network.topology.Network.reserve_links`, the WD/D+B
+bottleneck scan) read and write those flat arrays directly instead of
+walking per-link attribute dicts, and vector consumers (analysis,
+future thousands-node topologies) can view the whole network's state
+as two contiguous double arrays.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Hashable, Iterator, Optional
 
 FlowId = Hashable
 NodeId = Hashable
 
+#: Admission slack: a request fits if it exceeds the available
+#: bandwidth by no more than this (absorbs benign float rounding).
+ADMIT_EPSILON_BPS = 1e-9
+
 
 class InsufficientBandwidthError(RuntimeError):
     """Raised by :meth:`Link.reserve` when the request does not fit."""
+
+
+class LinkStateArrays:
+    """Columnar bandwidth accounting for a set of links.
+
+    One instance is shared by every link of a
+    :class:`~repro.network.topology.Network`; slots are appended while
+    the topology is built and the arrays are fixed-size afterwards
+    (the paper's networks are static).  ``capacity[i]`` and
+    ``reserved[i]`` are the capacity and reserved totals of the link
+    with id ``i``; available bandwidth is always computed as
+    ``capacity[i] - reserved[i]`` at read time, never maintained
+    incrementally, so results are bit-identical to per-link
+    accounting.
+
+    The ``array('d')`` columns support the buffer protocol, so numpy
+    consumers can wrap them zero-copy with ``numpy.frombuffer``.
+    """
+
+    __slots__ = ("capacity", "reserved")
+
+    def __init__(self):
+        self.capacity = array("d")
+        self.reserved = array("d")
+
+    def __len__(self) -> int:
+        return len(self.capacity)
+
+    def add(self, capacity_bps: float) -> int:
+        """Append a slot with ``capacity_bps`` and return its link id."""
+        index = len(self.capacity)
+        self.capacity.append(float(capacity_bps))
+        self.reserved.append(0.0)
+        return index
+
+    def available(self, index: int) -> float:
+        """Available bandwidth of the link with id ``index``."""
+        return self.capacity[index] - self.reserved[index]
+
+    def available_snapshot(self) -> array:
+        """A fresh ``array('d')`` of every link's available bandwidth."""
+        capacity = self.capacity
+        reserved = self.reserved
+        return array("d", (capacity[i] - reserved[i] for i in range(len(capacity))))
 
 
 class Link:
@@ -40,15 +99,20 @@ class Link:
     propagation_delay_s:
         One-way propagation delay, used by the RSVP-lite signalling
         model (the admission results themselves do not depend on it).
+    state:
+        The :class:`LinkStateArrays` this link's accounting lives in;
+        a network passes its shared instance.  A stand-alone link
+        (constructed directly, e.g. in tests) gets a private
+        single-slot store.
     """
 
     __slots__ = (
         "source",
         "target",
-        "capacity_bps",
         "propagation_delay_s",
         "_reservations",
-        "_reserved_bps",
+        "_state",
+        "_index",
         "rejections",
         "grants",
     )
@@ -59,6 +123,7 @@ class Link:
         target: NodeId,
         capacity_bps: float,
         propagation_delay_s: float = 0.001,
+        state: Optional[LinkStateArrays] = None,
     ):
         if capacity_bps < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity_bps}")
@@ -68,10 +133,10 @@ class Link:
             )
         self.source = source
         self.target = target
-        self.capacity_bps = float(capacity_bps)
         self.propagation_delay_s = float(propagation_delay_s)
+        self._state = state if state is not None else LinkStateArrays()
+        self._index = self._state.add(capacity_bps)
         self._reservations: dict[FlowId, float] = {}
-        self._reserved_bps = 0.0
         #: number of reservation attempts refused for lack of bandwidth
         self.rejections = 0
         #: number of successful reservations
@@ -81,21 +146,39 @@ class Link:
     # state inspection
     # ------------------------------------------------------------------
     @property
+    def state(self) -> LinkStateArrays:
+        """The shared columnar store this link's accounting lives in."""
+        return self._state
+
+    @property
+    def index(self) -> int:
+        """Dense link id of this link within :attr:`state`."""
+        return self._index
+
+    @property
+    def capacity_bps(self) -> float:
+        """Link capacity in bits per second."""
+        return self._state.capacity[self._index]
+
+    @property
     def reserved_bps(self) -> float:
         """Total bandwidth currently reserved on this link."""
-        return self._reserved_bps
+        return self._state.reserved[self._index]
 
     @property
     def available_bps(self) -> float:
         """Available bandwidth ``AB_l`` — capacity minus reservations."""
-        return self.capacity_bps - self._reserved_bps
+        state = self._state
+        return state.capacity[self._index] - state.reserved[self._index]
 
     @property
     def utilization(self) -> float:
         """Instantaneous fraction of capacity reserved (0 for zero-capacity)."""
-        if self.capacity_bps == 0:
+        state = self._state
+        capacity = state.capacity[self._index]
+        if capacity == 0:
             return 0.0
-        return self._reserved_bps / self.capacity_bps
+        return state.reserved[self._index] / capacity
 
     @property
     def flow_count(self) -> int:
@@ -119,7 +202,7 @@ class Link:
     # ------------------------------------------------------------------
     def can_admit(self, bandwidth_bps: float) -> bool:
         """Whether ``bandwidth_bps`` fits in the available bandwidth."""
-        return bandwidth_bps <= self.available_bps + 1e-9
+        return bandwidth_bps <= self.available_bps + ADMIT_EPSILON_BPS
 
     def reserve(self, flow_id: FlowId, bandwidth_bps: float) -> None:
         """Reserve ``bandwidth_bps`` for ``flow_id``.
@@ -147,7 +230,7 @@ class Link:
                 f"{bandwidth_bps:g} bps but only {self.available_bps:g} available"
             )
         self._reservations[flow_id] = float(bandwidth_bps)
-        self._reserved_bps += float(bandwidth_bps)
+        self._state.reserved[self._index] += float(bandwidth_bps)
         self.grants += 1
 
     def release(self, flow_id: FlowId) -> float:
@@ -161,11 +244,22 @@ class Link:
             If the flow holds no reservation on this link.
         """
         bandwidth = self._reservations.pop(flow_id)
-        self._reserved_bps -= bandwidth
-        if not self._reservations or self._reserved_bps < 0:
+        reservations = self._reservations
+        state = self._state
+        index = self._index
+        state.reserved[index] -= bandwidth
+        if not reservations or state.reserved[index] < 0:
             # Snap accumulated floating-point drift: with an empty
-            # ledger the reserved total is exactly zero by definition.
-            self._reserved_bps = math.fsum(self._reservations.values())
+            # ledger the reserved total is exactly zero by definition,
+            # and it can never legitimately go negative.  Without the
+            # snap, ~1e5 reserve/release cycles of unequal amounts
+            # leave an idle link with available_bps slightly below
+            # capacity (or slightly above — leaked capacity), enough
+            # to refuse an admissible flow at full occupancy.
+            state.reserved[index] = math.fsum(reservations.values())
+            assert state.reserved[index] >= 0.0, (
+                f"negative reserved total on link {self.source}->{self.target}"
+            )
         return bandwidth
 
     def release_if_held(self, flow_id: FlowId) -> float:
@@ -178,5 +272,5 @@ class Link:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Link({self.source}->{self.target}, "
-            f"{self._reserved_bps:g}/{self.capacity_bps:g} bps reserved)"
+            f"{self.reserved_bps:g}/{self.capacity_bps:g} bps reserved)"
         )

@@ -208,6 +208,7 @@ class Route:
         default=None, compare=False, repr=False
     )
     _link_keys: Optional[tuple] = field(default=None, compare=False, repr=False)
+    _link_indices: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     @property
     def distance(self) -> int:
@@ -229,7 +230,22 @@ class Route:
         links = tuple(network.path_links(self.path))
         object.__setattr__(self, "_links", links)
         object.__setattr__(self, "_links_network", network)
+        object.__setattr__(
+            self, "_link_indices", tuple(link.index for link in links)
+        )
         return links
+
+    def resolve_link_indices(self, network: Network) -> tuple:
+        """Dense link ids of the path within ``network.link_state``.
+
+        Cached alongside :meth:`resolve_links`; the WD/D+B bottleneck
+        scan and the reservation hot path index the network's columnar
+        :class:`~repro.network.link.LinkStateArrays` with these.
+        """
+        if self._link_indices is not None and self._links_network is network:
+            return self._link_indices
+        self.resolve_links(network)
+        return self._link_indices
 
     def link_keys(self) -> tuple:
         """Directed ``(u, v)`` pairs of the path, cached."""
@@ -240,11 +256,23 @@ class Route:
         return keys
 
     def bottleneck_bps(self, network: Network) -> float:
-        """Route bandwidth ``B_i = min over links of AB_l`` (eq. 11)."""
-        links = self.resolve_links(network)
-        if not links:
+        """Route bandwidth ``B_i = min over links of AB_l`` (eq. 11).
+
+        Reads the network's flat state arrays directly: one subtract
+        and compare per hop, no per-link attribute walks.
+        """
+        indices = self.resolve_link_indices(network)
+        if not indices:
             return float("inf")
-        return min(link.available_bps for link in links)
+        state = network.link_state
+        capacity = state.capacity
+        reserved = state.reserved
+        best = float("inf")
+        for i in indices:
+            available = capacity[i] - reserved[i]
+            if available < best:
+                best = available
+        return best
 
     def __str__(self) -> str:
         return "->".join(str(node) for node in self.path)

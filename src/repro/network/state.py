@@ -22,10 +22,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
+from repro.network.link import LinkStateArrays
 from repro.network.topology import Network
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.routing import Route
+
+__all__ = [
+    "BandwidthView",
+    "LinkStateArrays",
+    "LiveBandwidthView",
+    "SnapshotBandwidthView",
+]
 
 
 class BandwidthView(Protocol):
@@ -53,13 +61,23 @@ class LiveBandwidthView:
     def route_available_bps(self, route: "Route") -> float:
         """Current bottleneck bandwidth of ``route``.
 
-        Uses the route's cached link objects, skipping the per-hop
-        dict lookups that :meth:`path_available_bps` pays per query.
+        Scans the network's shared :class:`LinkStateArrays` columns by
+        the route's cached link ids — one subtract and compare per
+        hop, no per-link attribute walks or dict lookups.
         """
-        links = route.resolve_links(self._network)
-        if not links:
+        network = self._network
+        indices = route.resolve_link_indices(network)
+        if not indices:
             return float("inf")
-        return min(link.available_bps for link in links)
+        state = network.link_state
+        capacity = state.capacity
+        reserved = state.reserved
+        best = float("inf")
+        for i in indices:
+            available = capacity[i] - reserved[i]
+            if available < best:
+                best = available
+        return best
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "LiveBandwidthView()"

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator, Optional, Sequence
 
-from repro.network.link import InsufficientBandwidthError, Link
+from repro.network.link import (
+    ADMIT_EPSILON_BPS,
+    InsufficientBandwidthError,
+    Link,
+    LinkStateArrays,
+)
 
 NodeId = Hashable
 FlowId = Hashable
@@ -39,6 +44,10 @@ class Network:
         self._nodes: dict[NodeId, dict] = {}
         self._links: dict[tuple[NodeId, NodeId], Link] = {}
         self._adjacency: dict[NodeId, list[NodeId]] = {}
+        #: Columnar bandwidth accounting shared by every link; link
+        #: ids are dense indices in construction order.
+        self.link_state = LinkStateArrays()
+        self._links_by_index: list[Link] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -79,7 +88,11 @@ class Network:
             if (u, v) in self._links:
                 raise NetworkError(f"duplicate link {u!r}->{v!r}")
         for u, v in directions:
-            self._links[(u, v)] = Link(u, v, capacity_bps, propagation_delay_s)
+            link = Link(
+                u, v, capacity_bps, propagation_delay_s, state=self.link_state
+            )
+            self._links[(u, v)] = link
+            self._links_by_index.append(link)
             self._adjacency[u].append(v)
 
     # ------------------------------------------------------------------
@@ -124,6 +137,10 @@ class Network:
     def links(self) -> Iterator[Link]:
         """Iterate over all directed links."""
         return iter(self._links.values())
+
+    def link_by_index(self, index: int) -> Link:
+        """The link whose dense id in :attr:`link_state` is ``index``."""
+        return self._links_by_index[index]
 
     def neighbors(self, node: NodeId) -> Sequence[NodeId]:
         """Out-neighbors of ``node`` in insertion order."""
@@ -178,18 +195,42 @@ class Network:
 
         The hot-path variant of :meth:`reserve_path` for callers that
         hold the link objects already (e.g. a cached
-        :class:`~repro.network.routing.Route`), skipping the per-hop
-        dict lookups of :meth:`path_links`.
+        :class:`~repro.network.routing.Route`).  Works directly on the
+        shared :class:`~repro.network.link.LinkStateArrays` columns —
+        one admission check and one accounting write per hop, no
+        per-link method dispatch — with semantics identical to calling
+        :meth:`Link.reserve` hop by hop: same admission epsilon, same
+        grant/rejection counters, links reserved before the failing
+        hop are rolled back.
         """
-        reserved: list[Link] = []
+        if bandwidth_bps < 0:
+            raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        amount = float(bandwidth_bps)
+        state = self.link_state
+        capacity = state.capacity
+        reserved = state.reserved
+        granted = 0
         for link in links:
-            try:
-                link.reserve(flow_id, bandwidth_bps)
-            except InsufficientBandwidthError:
-                for granted in reserved:
-                    granted.release(flow_id)
+            if flow_id in link._reservations:
+                for position in range(granted):
+                    links[position].release(flow_id)
+                raise ValueError(
+                    f"flow {flow_id!r} already reserved on link "
+                    f"{link.source}->{link.target}"
+                )
+            index = link._index
+            if not (
+                bandwidth_bps
+                <= capacity[index] - reserved[index] + ADMIT_EPSILON_BPS
+            ):
+                link.rejections += 1
+                for position in range(granted):
+                    links[position].release(flow_id)
                 return False
-            reserved.append(link)
+            link._reservations[flow_id] = amount
+            reserved[index] += amount
+            link.grants += 1
+            granted += 1
         return True
 
     def release_path(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
@@ -199,7 +240,9 @@ class Network:
 
     def total_reserved_bps(self) -> float:
         """Sum of reservations over all directed links."""
-        return sum(link.reserved_bps for link in self._links.values())
+        # The reserved column is ordered by link id = insertion order,
+        # so this sums in the same order as walking the link dict.
+        return sum(self.link_state.reserved)
 
     def snapshot_available(self) -> dict[tuple[NodeId, NodeId], float]:
         """Map of directed link -> available bandwidth, for analysis."""

@@ -11,10 +11,16 @@ loss-network models produce.
 This implementation follows Brown (CACM 1988): bucket count doubles /
 halves when the population crosses 2x / 0.5x the bucket count, and the
 bucket width is re-estimated from the average gap of a sample of
-pending events.  Ties preserve insertion order, matching the heap's
-determinism guarantee exactly — the engine tests run against both
-implementations.
+pending events.  The width is clamped from below — both absolutely and
+relative to the timestamp magnitude — so a sample of events sharing
+one timestamp (average gap zero) cannot produce a zero or denormal
+width that breaks the cursor arithmetic.  Cancelled events are purged
+lazily, only when they surface at the head of a bucket the dequeue
+scan actually visits; no operation sweeps every bucket on the hot
+path.
 
+Ties preserve insertion order, matching the heap's determinism
+guarantee exactly — the engine tests run against both implementations.
 Select it with ``Simulator(queue="calendar")``; the benchmark
 ``benchmarks/test_substrate_microbench.py`` compares the two.
 """
@@ -76,28 +82,35 @@ class CalendarQueue:
             bucket.insert(low, event)
         self._count += 1
 
+    def _purge_head(self, bucket: list) -> None:
+        """Drop cancelled events sitting at the head of one bucket."""
+        while bucket and bucket[0]._cancelled:
+            bucket.pop(0)
+            self._count -= 1
+
     def pop_min(self) -> Optional[Event]:
         """Remove and return the earliest live event (``None`` if empty)."""
-        self._drop_cancelled()
         if self._count == 0:
             return None
         buckets = self._buckets
         n = len(buckets)
+        width = self._width
         # Scan a full "year" starting at the cursor; events belonging
         # to later years stay put.
         for _ in range(2):  # at most one wrap plus a direct-search pass
             for step in range(n):
                 index = (self._cursor + step) % n
                 bucket = buckets[index]
-                if bucket and bucket[0].time < self._cursor_top + step * self._width:
+                self._purge_head(bucket)
+                if bucket and bucket[0].time < self._cursor_top + step * width:
                     event = bucket.pop(0)
                     self._count -= 1
                     event._owner = None
                     self._live -= 1
                     self._cursor = index
                     self._cursor_top = (
-                        math.floor(event.time / self._width) + 1
-                    ) * self._width
+                        math.floor(event.time / width) + 1
+                    ) * width
                     self._last_time = event.time
                     if self._count < len(self._buckets) // 2 and len(
                         self._buckets
@@ -108,21 +121,54 @@ class CalendarQueue:
             # minimal event (direct search) and retry once.
             best: Optional[Event] = None
             for bucket in buckets:
+                self._purge_head(bucket)
                 if bucket and (best is None or bucket[0] < best):
                     best = bucket[0]
             if best is None:
                 return None
-            self._cursor = int(best.time / self._width) % n
+            self._cursor = int(best.time / width) % n
             self._cursor_top = (
-                math.floor(best.time / self._width) + 1
-            ) * self._width
+                math.floor(best.time / width) + 1
+            ) * width
         return None  # pragma: no cover - unreachable
+
+    def pop_run_into(self, out, until: Optional[float] = None) -> int:
+        """Pop the earliest same-timestamp run of live events into ``out``.
+
+        Same contract as :meth:`repro.sim.engine.HeapQueue.pop_run_into`:
+        appends every live event sharing the earliest pending timestamp
+        (insertion order preserved) and returns the count, or 0 when
+        the queue is empty or the earliest event is past ``until``.
+        """
+        first = self.pop_min()
+        if first is None:
+            return 0
+        if until is not None and first.time > until:
+            # Cold path (once per run() horizon): put it back untouched.
+            self.push(first)
+            return 0
+        out.append(first)
+        count = 1
+        time = first.time
+        # Same-timestamp events hash to the same bucket and sit at its
+        # head in insertion order; drain them without rescanning.
+        bucket = self._buckets[int(time / self._width) % len(self._buckets)]
+        while bucket and bucket[0].time == time:
+            event = bucket.pop(0)
+            self._count -= 1
+            if event._cancelled:
+                continue
+            event._owner = None
+            self._live -= 1
+            out.append(event)
+            count += 1
+        return count
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest live event, or ``None``."""
-        self._drop_cancelled()
         best: Optional[Event] = None
         for bucket in self._buckets:
+            self._purge_head(bucket)
             if bucket and (best is None or bucket[0] < best):
                 best = bucket[0]
         return None if best is None else best.time
@@ -145,19 +191,12 @@ class CalendarQueue:
         self._live -= 1
 
     # ------------------------------------------------------------------
-    def _drop_cancelled(self) -> None:
-        """Purge cancelled events from bucket heads (lazy deletion)."""
-        for bucket in self._buckets:
-            while bucket and bucket[0].cancelled:
-                bucket.pop(0)
-                self._count -= 1
-
     def _resize(self, new_size: int) -> None:
         events = [
             event
             for bucket in self._buckets
             for event in bucket
-            if not event.cancelled
+            if not event._cancelled
         ]
         events.sort()
         self._width = self._estimate_width(events)
@@ -174,13 +213,27 @@ class CalendarQueue:
 
     @staticmethod
     def _estimate_width(sorted_events: list[Event]) -> float:
-        """Bucket width ~ 3x the mean gap of a head sample (Brown)."""
+        """Bucket width ~ 3x the mean gap of a head sample (Brown).
+
+        Clamped from below: a sample whose events all share one
+        timestamp has average gap 0, and an unclamped width would be
+        zero or denormal — every event then lands in one bucket
+        "year", ``time / width`` overflows the integer range where
+        floats are exact, and the cursor arithmetic degenerates (pops
+        go quadratic or, worse, miss pending events).  The clamp is
+        both absolute (1e-12) and relative to the timestamp magnitude,
+        keeping ``time / width`` at or below ~1e9 so bucket indexing
+        stays well inside the 2**53 exact-integer range of a double.
+        """
         sample = sorted_events[:25]
         if len(sample) < 2:
             return 1.0
+        scale = max(abs(sample[0].time), abs(sample[-1].time),
+                    abs(sorted_events[-1].time))
+        min_width = max(1e-12, 1e-9 * scale)
         gaps = [
             b.time - a.time for a, b in zip(sample, sample[1:]) if b.time > a.time
         ]
         if not gaps:
-            return 1.0
-        return max(3.0 * sum(gaps) / len(gaps), 1e-12)
+            return max(1.0, min_width)
+        return max(3.0 * sum(gaps) / len(gaps), min_width)

@@ -11,6 +11,13 @@ Two pending-event set implementations are available: a binary heap
 queue (:mod:`repro.sim.calendar`; amortized O(1) for stationary event
 populations).  Both produce identical execution orders.
 
+The hot path is batched: the event loop asks the pending-event set for
+the whole *run* of events sharing the earliest timestamp
+(``pop_run_into``) and dispatches them without re-entering the queue's
+bookkeeping per event.  The heap keys its entries by ``(time,
+sequence)`` tuples so every sift comparison happens in C rather than
+through ``Event.__lt__``.
+
 Example
 -------
 >>> sim = Simulator()
@@ -24,9 +31,12 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -88,10 +98,20 @@ class Event:
 
 
 class HeapQueue:
-    """Binary-heap pending-event set (the default)."""
+    """Binary-heap pending-event set (the default).
+
+    Entries are ``(time, sequence, event)`` tuples rather than bare
+    :class:`Event` objects: tuple comparison is resolved in C, so the
+    O(log n) sift per push/pop never calls back into Python.  With
+    thousands of pending departure timers (the steady state of every
+    loss-network sweep) this is the difference between comparison cost
+    dominating the run and disappearing from the profile.
+    """
+
+    __slots__ = ("_heap", "_live")
 
     def __init__(self):
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._live = 0
 
     def __len__(self) -> int:
@@ -101,30 +121,66 @@ class HeapQueue:
         """Insert an event."""
         event._owner = self
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, (event.time, event._sequence, event))
 
     def pop_min(self) -> Optional[Event]:
         """Remove and return the earliest live event (``None`` if empty)."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
+            if not event._cancelled:
                 event._owner = None
                 self._live -= 1
                 return event
         return None
 
+    def pop_run_into(self, out, until: Optional[float] = None) -> int:
+        """Pop the earliest same-timestamp run of live events into ``out``.
+
+        Appends every live event whose time equals the earliest pending
+        timestamp (insertion order preserved) and returns how many were
+        appended.  Returns 0 — popping nothing — when the queue is
+        empty or the earliest event fires strictly after ``until``.
+        """
+        heap = self._heap
+        append = out.append
+        while heap:
+            time, _, event = heap[0]
+            if event._cancelled:
+                heappop(heap)
+                continue
+            if until is not None and time > until:
+                return 0
+            heappop(heap)
+            event._owner = None
+            append(event)
+            count = 1
+            while heap and heap[0][0] == time:
+                event = heappop(heap)[2]
+                if event._cancelled:
+                    continue
+                event._owner = None
+                append(event)
+                count += 1
+            self._live -= count
+            return count
+        return 0
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2]._cancelled:
+                heappop(heap)
+            else:
+                return entry[0]
+        return None
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for event in self._heap:
-            event._owner = None
+        for entry in self._heap:
+            entry[2]._owner = None
         self._heap.clear()
         self._live = 0
 
@@ -168,10 +224,20 @@ class Simulator:
     def __init__(self, start_time: float = 0.0, queue: str = "heap"):
         self._now = float(start_time)
         self._queue = _make_queue(queue)
+        self._push = self._queue.push
+        # Direct reference to the heap list when the default queue is
+        # in use: schedule() then pushes without a method call.
+        self._heap_fast = (
+            self._queue._heap if type(self._queue) is HeapQueue else None
+        )
         self._sequence = itertools.count()
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        # The same-timestamp run currently being dispatched.  Non-empty
+        # outside run() only when stop()/max_events aborted mid-run;
+        # the next run() resumes from it so no event is lost.
+        self._batch: deque[Event] = deque()
 
     # ------------------------------------------------------------------
     # clock and queue inspection
@@ -189,10 +255,16 @@ class Simulator:
     @property
     def pending_count(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return self._queue.live_count()
+        live = self._queue.live_count()
+        if self._batch:
+            live += sum(1 for event in self._batch if not event._cancelled)
+        return live
 
     def peek(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""
+        for event in self._batch:
+            if not event._cancelled:
+                return event.time
         return self._queue.peek_time()
 
     # ------------------------------------------------------------------
@@ -218,7 +290,22 @@ class Simulator:
         SimulationError
             If ``delay`` is negative or not finite.
         """
-        return self.schedule_at(self._now + float(delay), callback)
+        time = self._now + float(delay)
+        if time >= self._now and time != _INF:  # NaN fails the >= test
+            sequence = next(self._sequence)
+            event = Event(time, callback, sequence)
+            heap = self._heap_fast
+            if heap is not None:
+                queue = self._queue
+                event._owner = queue
+                queue._live += 1
+                heappush(heap, (time, sequence, event))
+            else:
+                self._push(event)
+            return event
+        # Invalid delay: delegate to schedule_at for the exact checks
+        # and error messages (cold path).
+        return self.schedule_at(time, callback)
 
     def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute simulation ``time``.
@@ -233,7 +320,7 @@ class Simulator:
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         event = Event(time, callback, next(self._sequence))
-        self._queue.push(event)
+        self._push(event)
         return event
 
     # ------------------------------------------------------------------
@@ -248,9 +335,17 @@ class Simulator:
             ``True`` if an event was executed, ``False`` if the
             calendar was empty.
         """
-        event = self._queue.pop_min()
+        event = None
+        batch = self._batch
+        while batch:
+            candidate = batch.popleft()
+            if not candidate._cancelled:
+                event = candidate
+                break
         if event is None:
-            return False
+            event = self._queue.pop_min()
+            if event is None:
+                return False
         self._now = event.time
         self._events_executed += 1
         event.callback()
@@ -279,27 +374,62 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        batch = self._batch
+        horizon = _INF if until is None else until
+        budget = _INF if max_events is None else max_events
         try:
-            while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self._queue.pop_min()
-                assert event is not None  # peek just saw it
-                self._now = event.time
-                self._events_executed += 1
-                event.callback()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if type(queue) is HeapQueue and not batch:
+                # Fast path: dispatch straight off the heap list.  The
+                # order is identical to the batched path below — a
+                # same-timestamp run is just consecutive pops — but no
+                # per-event method call or batch staging remains.
+                heap = queue._heap
+                while heap and not self._stopped and executed < budget:
+                    time, _, event = heap[0]
+                    if event._cancelled:
+                        heappop(heap)
+                        continue
+                    if time > horizon:
+                        break
+                    heappop(heap)
+                    event._owner = None
+                    queue._live -= 1
+                    self._now = time
+                    self._events_executed += 1
+                    event.callback()
+                    executed += 1
+            else:
+                pop_run = queue.pop_run_into
+                aborted = False
+                while True:
+                    if not batch and not pop_run(batch, until):
+                        break
+                    # All events in a run share one timestamp; a
+                    # leftover run from an aborted previous call may
+                    # lie past a tighter `until` and must not execute.
+                    if batch and batch[0].time > horizon:
+                        break
+                    while batch:
+                        event = batch.popleft()
+                        if event._cancelled:
+                            continue
+                        self._now = event.time
+                        self._events_executed += 1
+                        event.callback()
+                        executed += 1
+                        if self._stopped or executed >= budget:
+                            aborted = True
+                            break
+                    if aborted:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > until:
-                self._now = until
+            if not any(not event._cancelled for event in batch):
+                next_time = queue.peek_time()
+                if next_time is None or next_time > until:
+                    self._now = until
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -308,6 +438,7 @@ class Simulator:
     def clear(self) -> None:
         """Cancel all pending events and empty the calendar."""
         self._queue.clear()
+        self._batch.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

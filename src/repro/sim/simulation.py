@@ -113,6 +113,11 @@ class AnycastSimulation:
     trace:
         Optional :class:`repro.sim.trace.TraceRecorder` capturing a
         per-request record of every decision in the measurement window.
+    queue:
+        Pending-event set implementation passed through to
+        :class:`repro.sim.engine.Simulator`: ``"heap"`` (default) or
+        ``"calendar"``.  Results are bit-identical either way; only
+        the performance profile differs.
     """
 
     def __init__(
@@ -126,6 +131,7 @@ class AnycastSimulation:
         batch_size: int = 200,
         fault_config: Optional[FaultConfig] = None,
         trace: Optional["TraceRecorder"] = None,
+        queue: str = "heap",
     ):
         if warmup_s < 0 or measure_s <= 0:
             raise ValueError(
@@ -143,7 +149,7 @@ class AnycastSimulation:
         self.horizon_s = warmup_s + measure_s
         self.seed = seed
         self.streams = StreamFactory(seed)
-        self.simulator = Simulator()
+        self.simulator = Simulator(queue=queue)
         self.system: AdmissionSystem = build_system(
             system_spec,
             self.network,
@@ -294,6 +300,7 @@ def run_simulation(
     warmup_s: float = 1000.0,
     measure_s: float = 4000.0,
     seed: int = 0,
+    queue: str = "heap",
 ) -> SimulationResult:
     """Convenience wrapper: build and run one :class:`AnycastSimulation`."""
     simulation = AnycastSimulation(
@@ -303,5 +310,6 @@ def run_simulation(
         warmup_s=warmup_s,
         measure_s=measure_s,
         seed=seed,
+        queue=queue,
     )
     return simulation.run()

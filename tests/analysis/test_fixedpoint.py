@@ -1,5 +1,7 @@
 """Unit tests for the reduced-load fixed point (repro.analysis.fixedpoint)."""
 
+import warnings
+
 import pytest
 
 from repro.analysis.erlang import erlang_b, uaa_blocking
@@ -163,3 +165,133 @@ class TestRobustness:
         assert solution.converged
         for value in solution.link_blocking.values():
             assert 0.0 <= value <= 1.0
+
+
+def _oscillating_solver(**overrides):
+    """A heavily loaded multi-hop instance that 2-cycles undamped.
+
+    Plain successive substitution (damping=1.0) alternates between a
+    high- and a low-blocking iterate — the classic Erlang fixed-point
+    oscillation — so it exhausts ``max_iterations`` without meeting
+    the tolerance.
+    """
+    options = dict(damping=1.0, max_iterations=200)
+    options.update(overrides)
+    return ReducedLoadSolver(
+        capacities={"a": 50, "b": 50, "c": 50},
+        routes=[RouteLoad(links=("a", "b", "c"), load_erlangs=500.0)],
+        **options,
+    )
+
+
+class TestConvergenceReporting:
+    def test_oscillating_instance_warns(self):
+        solver = _oscillating_solver()
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            solution = solver.solve()
+        assert not solution.converged
+        assert solution.iterations == solver.max_iterations
+        # The last iterate is still a sane probability vector.
+        for value in solution.link_blocking.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_damping_rescues_oscillating_instance(self):
+        solver = _oscillating_solver(damping=0.5, max_iterations=10_000)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            solution = solver.solve()
+        assert solution.converged
+        assert solution.iterations < solver.max_iterations
+
+    def test_grid_warns_on_stuck_points(self):
+        solver = _oscillating_solver()
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            solutions = solver.solve_grid([0.001, 1.0])
+        # The light point converges; the oscillating one reports it.
+        assert solutions[0].converged
+        assert not solutions[1].converged
+
+
+class TestSolveGrid:
+    CAPACITIES = {"a": 8, "b": 4, "c": 6}
+    ROUTES = [
+        RouteLoad(links=("a", "b"), load_erlangs=5.0),
+        RouteLoad(links=("b", "c"), load_erlangs=3.0),
+        RouteLoad(links=("a",), load_erlangs=2.0),
+        RouteLoad(links=(), load_erlangs=2.0),  # zero-hop, never blocked
+    ]
+    SCALES = [0.25, 0.5, 1.0, 2.0, 4.0]
+
+    def _solver(self, **overrides):
+        return ReducedLoadSolver(self.CAPACITIES, self.ROUTES, **overrides)
+
+    def _reference(self, scale):
+        scaled = [
+            RouteLoad(links=r.links, load_erlangs=r.load_erlangs * scale)
+            for r in self.ROUTES
+        ]
+        return ReducedLoadSolver(self.CAPACITIES, scaled).solve()
+
+    def test_matches_scalar_solves(self):
+        solutions = self._solver().solve_grid(self.SCALES)
+        assert len(solutions) == len(self.SCALES)
+        for scale, solution in zip(self.SCALES, solutions):
+            reference = self._reference(scale)
+            assert solution.converged == reference.converged
+            assert solution.iterations == reference.iterations
+            for link in self.CAPACITIES:
+                assert solution.link_blocking[link] == pytest.approx(
+                    reference.link_blocking[link], abs=1e-9
+                )
+                assert solution.link_load[link] == pytest.approx(
+                    reference.link_load[link], abs=1e-9
+                )
+
+    def test_custom_blocking_function_grid(self):
+        # Non-default blocking functions take the elementwise path.
+        solver = ReducedLoadSolver(
+            {"a": 312},
+            [RouteLoad(links=("a",), load_erlangs=250.0)],
+            blocking_function=uaa_blocking,
+        )
+        low, nominal = solver.solve_grid([0.5, 1.0])
+        assert nominal.link_blocking["a"] == pytest.approx(
+            solver.solve().link_blocking["a"], abs=1e-12
+        )
+        assert low.link_blocking["a"] < nominal.link_blocking["a"]
+
+    def test_empty_grid(self):
+        assert self._solver().solve_grid([]) == []
+
+    def test_zero_scale_never_blocks(self):
+        (solution,) = self._solver().solve_grid([0.0])
+        assert solution.converged
+        assert all(b == 0.0 for b in solution.link_blocking.values())
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            self._solver().solve_grid([1.0, -0.5])
+
+    def test_bad_initial_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            self._solver().solve_grid([1.0], initial_blocking=1.0)
+
+    def test_no_links_degenerate(self):
+        solutions = ReducedLoadSolver({}, []).solve_grid([1.0, 2.0])
+        assert all(s.converged and s.link_blocking == {} for s in solutions)
+
+    def test_python_fallback_matches_numpy(self, monkeypatch):
+        import repro.analysis.fixedpoint as fixedpoint_module
+
+        if fixedpoint_module._np is None:
+            pytest.skip("numpy unavailable; only the fallback path exists")
+        vectorized = self._solver().solve_grid(self.SCALES)
+        monkeypatch.setattr(fixedpoint_module, "_np", None)
+        fallback = self._solver().solve_grid(self.SCALES)
+        for fast, slow in zip(vectorized, fallback):
+            assert fast.converged == slow.converged
+            assert fast.iterations == slow.iterations
+            for link in self.CAPACITIES:
+                assert fast.link_blocking[link] == pytest.approx(
+                    slow.link_blocking[link], abs=1e-9
+                )

@@ -23,8 +23,11 @@ GOLDEN = {
 }
 
 
+@pytest.mark.parametrize("queue", ["heap", "calendar"])
 @pytest.mark.parametrize("algorithm", sorted(GOLDEN))
-def test_golden_results_are_stable(algorithm):
+def test_golden_results_are_stable(algorithm, queue):
+    # Both pending-event set implementations must reproduce the same
+    # pinned values: execution order is part of the contract.
     result = repro.quick_run(
         algorithm,
         retrials=2,
@@ -32,6 +35,7 @@ def test_golden_results_are_stable(algorithm):
         warmup_s=50.0,
         measure_s=200.0,
         seed=20010405,
+        queue=queue,
     )
     requests, admitted, mean_attempts = GOLDEN[algorithm]
     assert result.requests == requests

@@ -124,3 +124,58 @@ class TestCanAdmit:
         link.reserve("b", 0.1)
         # 0.3 - 0.1 - 0.1 may be 0.09999...; tolerance must accept 0.1.
         assert link.can_admit(0.1)
+
+
+class TestReservedDriftRegression:
+    """Long reserve/release churn must not accumulate float drift.
+
+    The running reserved total is maintained incrementally on the hot
+    path; amounts whose sums are inexact in binary (0.1-style) would
+    drift it away from zero over ~1e5 cycles, leaving an idle link
+    that cannot admit a capacity-filling flow.  The ledger snaps the
+    total back to the exact sum whenever it empties (or dips
+    negative), so churn of any length leaves no residue.
+    """
+
+    CAPACITY = 20_000_000.0
+    # Sums of these are inexact in binary floating point.
+    AMOUNTS = (64_000.1, 33_333.333, 0.001, 123_456.789)
+
+    def test_churn_cycles_leave_idle_link_exact(self):
+        link = Link(0, 1, capacity_bps=self.CAPACITY)
+        # 25k cycles x 4 flows = 1e5 reserve/release pairs.
+        for cycle in range(25_000):
+            for j, amount in enumerate(self.AMOUNTS):
+                link.reserve((cycle, j), amount)
+            for j in range(len(self.AMOUNTS)):
+                link.release((cycle, j))
+            # Exact zero — not approximately zero — every time the
+            # ledger empties.
+            assert link.reserved_bps == 0.0
+        assert link.available_bps == self.CAPACITY
+        # The acid test: a flow wanting every last bit still fits.
+        link.reserve("full", self.CAPACITY)
+        assert link.available_bps == 0.0
+
+    def test_interleaved_churn_snaps_on_empty(self):
+        """Out-of-order releases with overlapping holders."""
+        link = Link(0, 1, capacity_bps=self.CAPACITY)
+        for cycle in range(10_000):
+            for j, amount in enumerate(self.AMOUNTS):
+                link.reserve((cycle, j), amount)
+            # Release in a different order than reserved.
+            for j in (2, 0, 3, 1):
+                link.release((cycle, j))
+            assert link.reserved_bps == 0.0
+        assert link.available_bps == self.CAPACITY
+
+    def test_reserved_total_never_negative_during_churn(self):
+        link = Link(0, 1, capacity_bps=self.CAPACITY)
+        for cycle in range(5_000):
+            link.reserve((cycle, "big"), 1e7 + 0.1)
+            link.reserve((cycle, "small"), 0.3)
+            link.release((cycle, "big"))
+            # Ledger still holds the small flow; no negative total.
+            assert link.reserved_bps >= 0.0
+            link.release((cycle, "small"))
+            assert link.reserved_bps == 0.0

@@ -1,0 +1,138 @@
+"""Property: heap and calendar pending-event sets are interchangeable.
+
+The simulator promises bit-identical execution order regardless of the
+queue implementation.  These tests drive a :class:`HeapQueue` and a
+:class:`CalendarQueue` through the same randomized interleavings of
+schedule / cancel / pop / batched-pop operations and require them to
+agree on every observable: pop order (time *and* sequence), live
+counts, peeked timestamps and batch contents.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calendar import CalendarQueue
+from repro.sim.engine import Event, HeapQueue
+
+# Delays mix exact ties (0.0 and a coarse grid) with continuous values
+# so same-timestamp runs and FIFO tie-breaking are exercised heavily.
+_delays = st.one_of(
+    st.just(0.0),
+    st.sampled_from([0.25, 0.5, 1.0, 2.0]),
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _delays),
+        st.tuples(st.just("pop"), st.just(0)),
+        st.tuples(st.just("pop_run"), st.just(0)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=1000)),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class _Pair:
+    """The two queues driven in lockstep, with shared bookkeeping."""
+
+    def __init__(self):
+        self.heap = HeapQueue()
+        self.calendar = CalendarQueue()
+        self.sequence = 0
+        self.now = 0.0
+        # sequence -> (heap event, calendar event) for cancellable pairs
+        self.live: dict[int, tuple[Event, Event]] = {}
+
+    def push(self, delay):
+        time = self.now + delay
+        pair = (
+            Event(time, lambda: None, self.sequence),
+            Event(time, lambda: None, self.sequence),
+        )
+        self.heap.push(pair[0])
+        self.calendar.push(pair[1])
+        self.live[self.sequence] = pair
+        self.sequence += 1
+
+    def pop(self):
+        a = self.heap.pop_min()
+        b = self.calendar.pop_min()
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert (a.time, a._sequence) == (b.time, b._sequence)
+            self.live.pop(a._sequence, None)
+            self.now = a.time
+        return a
+
+    def pop_run(self):
+        run_a: list[Event] = []
+        run_b: list[Event] = []
+        count_a = self.heap.pop_run_into(run_a)
+        count_b = self.calendar.pop_run_into(run_b)
+        assert count_a == count_b
+        assert [(e.time, e._sequence) for e in run_a] == [
+            (e.time, e._sequence) for e in run_b
+        ]
+        for event in run_a:
+            self.live.pop(event._sequence, None)
+        if run_a:
+            self.now = run_a[-1].time
+
+    def cancel(self, pick):
+        if not self.live:
+            return
+        keys = sorted(self.live)
+        key = keys[pick % len(keys)]
+        pair = self.live.pop(key)
+        pair[0].cancel()
+        pair[1].cancel()
+
+    def check_observables(self):
+        assert self.heap.live_count() == self.calendar.live_count()
+        assert self.heap.peek_time() == self.calendar.peek_time()
+
+
+class TestQueueEquivalence:
+    @settings(max_examples=100, deadline=None)
+    @given(operations=_operations)
+    def test_interleaved_operations_agree(self, operations):
+        pair = _Pair()
+        for kind, value in operations:
+            if kind == "push":
+                pair.push(value)
+            elif kind == "pop":
+                pair.pop()
+            elif kind == "pop_run":
+                pair.pop_run()
+            else:
+                pair.cancel(value)
+            pair.check_observables()
+        # Drain whatever survived; order must stay identical to the end.
+        drained = 0
+        while pair.pop() is not None:
+            drained += 1
+        assert pair.heap.live_count() == 0
+        assert pair.calendar.live_count() == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        delays=st.lists(_delays, min_size=1, max_size=120),
+        cancel_every=st.integers(min_value=2, max_value=7),
+    )
+    def test_bulk_schedule_then_batched_drain(self, delays, cancel_every):
+        """Pure pop_run_into drain after bulk scheduling and cancels."""
+        pair = _Pair()
+        for delay in delays:
+            pair.push(delay)
+        for i, key in enumerate(sorted(pair.live)):
+            if i % cancel_every == 0:
+                event_pair = pair.live[key]
+                event_pair[0].cancel()
+                event_pair[1].cancel()
+        pair.check_observables()
+        while pair.heap.peek_time() is not None:
+            pair.pop_run()
+            pair.check_observables()
+        assert pair.calendar.peek_time() is None

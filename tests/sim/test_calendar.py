@@ -114,6 +114,78 @@ class TestEquivalenceWithHeap:
             assert (a.time, a._sequence) == (b.time, b._sequence)
 
 
+class TestSameTimestampStress:
+    """Duplicate timestamps must not collapse the estimated bucket width.
+
+    Width re-estimation samples gaps between queued events; a sample
+    dominated by identical timestamps once produced a near-zero width,
+    after which ``time / width`` overflowed the exact-integer float
+    range and bucket indexing degenerated.  The width is now clamped
+    (absolutely and relative to the timestamp scale), so heavy
+    timestamp ties stay fast and keep FIFO order.
+    """
+
+    def test_all_identical_timestamps(self):
+        queue = CalendarQueue()
+        events = [make_event(1e6, i) for i in range(2000)]
+        for event in events:
+            queue.push(event)  # resizes estimate width from all-tie samples
+        assert queue._width >= 1e-12
+        for expected in events:
+            assert queue.pop_min() is expected
+        assert queue.live_count() == 0
+
+    def test_heavy_ties_match_heap_order(self):
+        """Batches of tied timestamps, interleaved pushes and pops."""
+        heap, calendar = HeapQueue(), CalendarQueue()
+        stream = StreamFactory(11).stream("ties")
+        sequence = 0
+        # A few distinct timestamps, each shared by many events, at a
+        # large absolute scale so an unclamped width would be fatal.
+        base = 1e9
+        for _ in range(40):
+            t = base + stream.uniform(0.0, 50.0)
+            for _ in range(50):
+                heap.push(make_event(t, sequence))
+                calendar.push(make_event(t, sequence))
+                sequence += 1
+        popped = 0
+        while True:
+            a = heap.pop_min()
+            b = calendar.pop_min()
+            if a is None or b is None:
+                assert a is None and b is None
+                break
+            assert (a.time, a._sequence) == (b.time, b._sequence)
+            popped += 1
+            # Re-push at the same tied timestamp half the time.
+            if popped % 2 == 0 and popped < 3000:
+                heap.push(make_event(a.time, sequence))
+                calendar.push(make_event(a.time, sequence))
+                sequence += 1
+        # 2000 initial events plus one re-push per even pop below 3000.
+        assert popped == 2000 + 1499
+
+    def test_pop_run_drains_one_timestamp(self):
+        queue = CalendarQueue()
+        for i in range(10):
+            queue.push(make_event(5.0, i))
+        queue.push(make_event(6.0, 10))
+        out = []
+        count = queue.pop_run_into(out)
+        assert count == 10
+        assert [event._sequence for event in out] == list(range(10))
+        assert queue.peek_time() == 6.0
+
+    def test_pop_run_respects_until(self):
+        queue = CalendarQueue()
+        queue.push(make_event(5.0, 0))
+        out = []
+        assert queue.pop_run_into(out, until=4.0) == 0
+        assert out == []
+        assert queue.live_count() == 1
+
+
 class TestSimulatorIntegration:
     def test_simulator_accepts_calendar_queue(self):
         sim = Simulator(queue="calendar")
