@@ -5,7 +5,7 @@ Also asserts the paper's observation 3: systems with *higher* AP are
 because informed selection makes fewer correctable mistakes.
 """
 
-from repro.experiments.figures import figure3, figure5
+from repro.experiments.figures import figure5
 
 
 def test_fig5_wddb_sensitivity(benchmark, config):

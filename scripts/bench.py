@@ -18,7 +18,10 @@ Usage::
 committed ``BENCH_substrate.json`` and exits non-zero if any metric
 regresses by more than ``--tolerance`` (default 20 %).  ``--update``
 rolls the current run into the baseline: the previous ``after``
-becomes ``before`` so the file always shows one PR-over-PR step.
+becomes ``before`` so the file always shows one PR-over-PR step, and a
+timestamped summary of the new run is appended to the file's
+``history`` list so the full performance trajectory survives updates
+instead of being overwritten.
 
 Every benchmark uses fixed seeds and deterministic workloads; the only
 nondeterminism is wall-clock noise, mitigated by taking the best of
@@ -34,6 +37,7 @@ import platform
 import random
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -294,6 +298,16 @@ def _meta() -> dict:
     }
 
 
+def _history_entry(metrics: dict, ratios: dict) -> dict:
+    """Compact timestamped summary of one ``--update`` run."""
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "rates": {name: entry["rate"] for name, entry in metrics.items()},
+        "geomean_speedup": ratios.get("geomean"),
+        "meta": _meta(),
+    }
+
+
 def check_regression(
     metrics: dict, baseline_path: Path, tolerance: float, quick: bool = False
 ) -> int:
@@ -387,13 +401,17 @@ def main(argv=None) -> int:
         before = previous.get("after", previous.get("metrics", {}))
         print("recording quick-mode reference for the CI gate...", file=sys.stderr)
         metrics_quick = run_suite(quick=True, repeats=args.repeats)
+        ratios = speedups(before, metrics)
         document = {
-            "schema": 1,
+            "schema": 2,
             "before": before,
             "after": metrics,
             "after_quick": metrics_quick,
-            "speedup": speedups(before, metrics),
+            "speedup": ratios,
             "meta": _meta(),
+            "history": previous.get("history", []) + [
+                _history_entry(metrics, ratios)
+            ],
         }
         args.baseline.write_text(json.dumps(document, indent=2) + "\n")
         print(f"baseline updated: {args.baseline}", file=sys.stderr)

@@ -15,13 +15,13 @@ classic reduced-load (Erlang fixed-point) method for loss networks:
   retrials.
 """
 
-from repro.analysis.erlang import erlang_b, erlang_b_inverse_load, uaa_blocking
-from repro.analysis.fixedpoint import FixedPointSolution, ReducedLoadSolver, RouteLoad
 from repro.analysis.admission import (
     AnalysisResult,
     analyze_system,
     build_route_loads,
 )
+from repro.analysis.erlang import erlang_b, erlang_b_inverse_load, uaa_blocking
+from repro.analysis.fixedpoint import FixedPointSolution, ReducedLoadSolver, RouteLoad
 from repro.analysis.multirate import (
     MultirateLinkReport,
     TrafficClass,

@@ -32,9 +32,8 @@ simulation only, as in the paper.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Optional, Sequence
 
 from repro.analysis.erlang import erlang_b
 from repro.analysis.fixedpoint import (
@@ -45,9 +44,8 @@ from repro.analysis.fixedpoint import (
 )
 from repro.core.selection import distance_weights
 from repro.core.system import SystemSpec
-from repro.flows.group import AnycastGroup
 from repro.flows.traffic import WorkloadSpec
-from repro.network.routing import Route, RouteTable
+from repro.network.routing import RouteTable
 from repro.network.topology import Network
 
 NodeId = Hashable

@@ -26,7 +26,7 @@ per-point fallback when numpy is unavailable.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Mapping, Sequence
 
 from repro.analysis.erlang import erlang_b

@@ -18,7 +18,7 @@ when sizing the "20 % of link bandwidth reserved for anycast flows".
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.analysis.admission import analyze_system
 from repro.core.system import SystemSpec

@@ -15,19 +15,38 @@ history) — state is strictly local, which is the point of the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from dataclasses import dataclass
+from typing import Hashable, Optional, Protocol, Sequence
 
 from repro.core.reservation import AtomicReservationEngine
 from repro.core.retrial import RetrialPolicy
-from repro.core.selection import DestinationSelector, SelectionContext
+from repro.core.selection import DestinationSelector
 from repro.flows.flow import AdmittedFlow, FlowRequest
 from repro.flows.group import AnycastGroup
-from repro.network.routing import RouteTable
+from repro.network.routing import Route, RouteTable
 from repro.network.topology import Network
 from repro.sim.random_streams import RandomStream
 
 NodeId = Hashable
+FlowId = Hashable
+
+
+class ReservationEngine(Protocol):
+    """What the AC-router needs from a reservation engine.
+
+    Satisfied by :class:`AtomicReservationEngine` and by the
+    fault-aware wrapper in :mod:`repro.network.faults`.
+    """
+
+    def try_reserve(
+        self, route: "Route", flow_id: FlowId, bandwidth_bps: float
+    ) -> bool:
+        """Reserve along ``route``; ``True`` on success."""
+        ...
+
+    def release(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
+        """Tear down the flow's reservations along ``path``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -53,7 +72,7 @@ class AdmissionResult:
     request: FlowRequest
     flow: Optional[AdmittedFlow]
     attempts: int
-    tried: tuple
+    tried: tuple[NodeId, ...]
     decided_at: float = 0.0
 
     @property
@@ -104,16 +123,18 @@ class ACRouter:
         selector: DestinationSelector,
         retrial_policy: RetrialPolicy,
         rng: RandomStream,
-        reservation: Optional[AtomicReservationEngine] = None,
+        reservation: Optional[ReservationEngine] = None,
         resample_failed: bool = False,
-    ):
+    ) -> None:
         self.network = network
         self.source = source
         self.group = group
         self.selector = selector
         self.retrial_policy = retrial_policy
         self.rng = rng
-        self.reservation = reservation or AtomicReservationEngine(network)
+        self.reservation: ReservationEngine = (
+            reservation or AtomicReservationEngine(network)
+        )
         self.resample_failed = resample_failed
         self.routes = RouteTable(network, source, group.members)
         # Lifetime counters for reporting.

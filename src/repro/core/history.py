@@ -29,7 +29,7 @@ NodeId = Hashable
 class AdmissionHistory:
     """The per-group consecutive-failure counters of one AC-router."""
 
-    def __init__(self, group: AnycastGroup):
+    def __init__(self, group: AnycastGroup) -> None:
         self.group = group
         self._counters = [0] * group.size
         #: total successes recorded (all destinations)
@@ -51,7 +51,7 @@ class AdmissionHistory:
         """Current ``h_i`` for the given member."""
         return self._counters[self.group.index_of(member)]
 
-    def counters(self) -> tuple:
+    def counters(self) -> tuple[int, ...]:
         """The list ``H`` as a tuple in group-member order."""
         return tuple(self._counters)
 

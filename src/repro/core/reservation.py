@@ -21,6 +21,7 @@ from repro.network.routing import Route
 from repro.network.topology import Network
 
 FlowId = Hashable
+NodeId = Hashable
 
 
 class AtomicReservationEngine:
@@ -31,7 +32,7 @@ class AtomicReservationEngine:
     round trip in a deployed system).
     """
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network) -> None:
         self.network = network
         #: reservation attempts made (one per destination tried)
         self.attempts = 0
@@ -57,7 +58,7 @@ class AtomicReservationEngine:
             self.failures += 1
         return success
 
-    def release(self, path: Sequence, flow_id: FlowId) -> None:
+    def release(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
         """Tear down a flow's reservation along ``path``."""
         self.network.release_path(path, flow_id)
 

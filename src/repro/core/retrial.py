@@ -47,7 +47,7 @@ class CounterRetrialPolicy:
         ``R``, the total number of destinations that may be tried.
     """
 
-    def __init__(self, max_attempts: int):
+    def __init__(self, max_attempts: int) -> None:
         if max_attempts < 1:
             raise ValueError(f"R must be >= 1, got {max_attempts}")
         self.max_attempts = max_attempts

@@ -78,7 +78,7 @@ class SelectionContext:
     routes: RouteTable
     group: AnycastGroup
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if tuple(self.routes.members) != tuple(self.group.members):
             raise ValueError(
                 "route table and group disagree on members: "
@@ -138,7 +138,7 @@ class DestinationSelector(Protocol):
         ...
 
     def select(
-        self, rng: RandomStream, exclude: frozenset = frozenset()
+        self, rng: RandomStream, exclude: frozenset[NodeId] = frozenset()
     ) -> NodeId:
         """Draw a destination, renormalizing over non-excluded members."""
         ...
@@ -153,7 +153,7 @@ class _WeightedSelectorBase:
 
     name = "base"
 
-    def __init__(self, context: SelectionContext):
+    def __init__(self, context: SelectionContext) -> None:
         self.context = context
         self.group = context.group
 
@@ -164,7 +164,7 @@ class _WeightedSelectorBase:
         """Default: stateless selectors ignore outcomes."""
 
     def select(
-        self, rng: RandomStream, exclude: frozenset = frozenset()
+        self, rng: RandomStream, exclude: frozenset[NodeId] = frozenset()
     ) -> NodeId:
         members = self.group.members
         weights = self.weights()
@@ -200,7 +200,7 @@ class DistanceWeighted(_WeightedSelectorBase):
 
     name = "WD/D"
 
-    def __init__(self, context: SelectionContext):
+    def __init__(self, context: SelectionContext) -> None:
         super().__init__(context)
         self._weights = distance_weights(
             [float(d) for d in context.routes.distances()]
@@ -248,7 +248,9 @@ class DistanceHistoryWeighted(_WeightedSelectorBase):
 
     name = "WD/D+H"
 
-    def __init__(self, context: SelectionContext, alpha: float = DEFAULT_ALPHA):
+    def __init__(
+        self, context: SelectionContext, alpha: float = DEFAULT_ALPHA
+    ) -> None:
         super().__init__(context)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -268,7 +270,7 @@ class DistanceHistoryWeighted(_WeightedSelectorBase):
             weight * (1.0 - d) for weight, d in zip(current, decay)
         )
         clean = [i for i, h in enumerate(counters) if h == 0]
-        updated = []
+        updated: list[float] = []
         for i, (weight, h) in enumerate(zip(current, counters)):
             if h != 0:
                 updated.append(weight * decay[i])
@@ -319,7 +321,7 @@ class DistanceBandwidthWeighted(_WeightedSelectorBase):
         self,
         context: SelectionContext,
         view: Optional["BandwidthView"] = None,
-    ):
+    ) -> None:
         super().__init__(context)
         self._distances = [float(d) for d in context.routes.distances()]
         self._routes = context.routes.routes()
@@ -331,7 +333,7 @@ class DistanceBandwidthWeighted(_WeightedSelectorBase):
 
     def weights(self) -> list[float]:
         routes = self._routes
-        scores = []
+        scores: list[float] = []
         for route, distance in zip(routes, self._distances):
             bandwidth = self.view.route_available_bps(route)
             if distance == 0:
@@ -369,7 +371,7 @@ class HybridWeighted(_WeightedSelectorBase):
         context: SelectionContext,
         alpha: float = DEFAULT_ALPHA,
         view: Optional["BandwidthView"] = None,
-    ):
+    ) -> None:
         super().__init__(context)
         if not 0.0 <= alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {alpha}")
@@ -386,7 +388,7 @@ class HybridWeighted(_WeightedSelectorBase):
     def weights(self) -> list[float]:
         routes = self._routes
         counters = self.history.counters()
-        scores = []
+        scores: list[float] = []
         for route, distance, failures in zip(
             routes, self._distances, counters
         ):
@@ -415,7 +417,7 @@ class ShortestPathSelector(_WeightedSelectorBase):
 
     name = "SP"
 
-    def __init__(self, context: SelectionContext):
+    def __init__(self, context: SelectionContext) -> None:
         super().__init__(context)
         self._choice = context.routes.shortest_member()
 
@@ -426,7 +428,7 @@ class ShortestPathSelector(_WeightedSelectorBase):
         ]
 
     def select(
-        self, rng: RandomStream, exclude: frozenset = frozenset()
+        self, rng: RandomStream, exclude: frozenset[NodeId] = frozenset()
     ) -> NodeId:
         if self._choice in exclude:
             # SP has no second choice; fall back to the next-nearest

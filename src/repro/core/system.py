@@ -11,7 +11,7 @@ the distributed systems, or a single global controller for GDI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
 
 from repro.baselines.gdi import GDIController
 from repro.core.admission import ACRouter, AdmissionResult
@@ -32,6 +32,10 @@ from repro.flows.group import AnycastGroup
 from repro.network.routing import RouteTable
 from repro.network.topology import Network
 from repro.sim.random_streams import StreamFactory
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.selection import DestinationSelector
+    from repro.network.state import SnapshotBandwidthView
 
 NodeId = Hashable
 
@@ -78,7 +82,7 @@ class SystemSpec:
     resample_failed: bool = False
     bandwidth_refresh_s: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHM_NAMES:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; "
@@ -120,16 +124,16 @@ class AdmissionSystem:
         spec: SystemSpec,
         network: Network,
         group: AnycastGroup,
-        controllers: dict,
+        controllers: dict[NodeId, ACRouter],
         global_controller: Optional[GDIController] = None,
-    ):
+    ) -> None:
         self.spec = spec
         self.network = network
         self.group = group
         self._controllers = controllers
         self._global_controller = global_controller
 
-    def controller_for(self, source: NodeId):
+    def controller_for(self, source: NodeId) -> "ACRouter | GDIController":
         """The controller that handles requests from ``source``."""
         if self._global_controller is not None:
             return self._global_controller
@@ -152,7 +156,7 @@ class AdmissionSystem:
     # ------------------------------------------------------------------
     # aggregated reporting
     # ------------------------------------------------------------------
-    def _all_controllers(self) -> list:
+    def _all_controllers(self) -> "list[ACRouter | GDIController]":
         if self._global_controller is not None:
             return [self._global_controller]
         return list(self._controllers.values())
@@ -222,7 +226,7 @@ def build_system(
         controller = GDIController(network, group)
         return AdmissionSystem(spec, network, group, {}, global_controller=controller)
 
-    bandwidth_view = None
+    bandwidth_view: Optional["SnapshotBandwidthView"] = None
     if spec.algorithm in ("WD/D+B", "WD/D+H+B") and spec.bandwidth_refresh_s > 0:
         if clock is None:
             raise ValueError(
@@ -238,21 +242,25 @@ def build_system(
         )
 
     reservation = AtomicReservationEngine(network)
-    controllers = {}
+    controllers: dict[NodeId, ACRouter] = {}
     for source in sources:
         routes = RouteTable(network, source, group.members)
         context = SelectionContext(network=network, routes=routes, group=group)
-        selector_class = _SELECTOR_CLASSES[spec.algorithm]
-        if spec.algorithm == "WD/D+H":
-            selector = selector_class(context, alpha=spec.alpha)
+        # Explicit dispatch (rather than a class registry) so each
+        # constructor is called with exactly the arguments it accepts.
+        selector: "DestinationSelector"
+        if spec.algorithm == "ED":
+            selector = EvenDistribution(context)
+        elif spec.algorithm == "WD/D":
+            selector = DistanceWeighted(context)
+        elif spec.algorithm == "WD/D+H":
+            selector = DistanceHistoryWeighted(context, alpha=spec.alpha)
         elif spec.algorithm == "WD/D+H+B":
-            selector = selector_class(
-                context, alpha=spec.alpha, view=bandwidth_view
-            )
-        elif spec.algorithm == "WD/D+B" and bandwidth_view is not None:
-            selector = selector_class(context, view=bandwidth_view)
-        else:
-            selector = selector_class(context)
+            selector = HybridWeighted(context, alpha=spec.alpha, view=bandwidth_view)
+        elif spec.algorithm == "WD/D+B":
+            selector = DistanceBandwidthWeighted(context, view=bandwidth_view)
+        else:  # SP (GDI returned above)
+            selector = ShortestPathSelector(context)
         retrials = 1 if spec.algorithm == "SP" else spec.retrials
         controllers[source] = ACRouter(
             network=network,

@@ -35,7 +35,6 @@ from repro.experiments.diagnostics import (
     compare_congestion,
     congestion_report,
 )
-from repro.experiments.runner import PointResult, SweepResult, run_point, sweep
 from repro.experiments.figures import (
     FigureResult,
     figure3,
@@ -44,6 +43,7 @@ from repro.experiments.figures import (
     figure6,
     figure7,
 )
+from repro.experiments.runner import PointResult, SweepResult, run_point, sweep
 from repro.experiments.tables import TableResult, table1, table2
 
 __all__ = [

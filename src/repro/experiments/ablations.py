@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from repro.core.system import SystemSpec
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PointResult, run_point
+from repro.experiments.runner import run_point
 
 #: Default alpha grid of the WD/D+H decay study.
 DEFAULT_ALPHAS: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)

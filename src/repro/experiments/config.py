@@ -14,8 +14,8 @@ presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.flows.group import AnycastGroup
 from repro.flows.traffic import (

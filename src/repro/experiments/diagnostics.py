@@ -11,7 +11,7 @@ can be inspected and compared directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.experiments.report import format_table
 from repro.sim.metrics import SimulationResult

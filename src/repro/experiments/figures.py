@@ -16,12 +16,12 @@ the accompanying benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 from repro.core.system import SystemSpec
 from repro.experiments.config import ExperimentConfig, paper_config
 from repro.experiments.report import format_series_table
-from repro.experiments.runner import SweepResult, sweep
+from repro.experiments.runner import sweep
 
 
 @dataclass(frozen=True)

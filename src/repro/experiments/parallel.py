@@ -84,7 +84,7 @@ class ParallelRunner:
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         chunksize: int = 1,
-    ):
+    ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -142,10 +142,10 @@ class ParallelRunner:
             for replication in range(config.replications)
         ]
         runs = self.run_tasks(tasks)
-        results = []
+        results: list[SweepResult] = []
         index = 0
         for spec in specs:
-            points = []
+            points: list[PointResult] = []
             for rate in rates:
                 chunk = runs[index : index + config.replications]
                 index += config.replications

@@ -14,12 +14,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.admission import analyze_system
-from repro.analysis.fixedpoint import BlockingFunction
 from repro.analysis.erlang import erlang_b
+from repro.analysis.fixedpoint import BlockingFunction
 from repro.core.system import SystemSpec
 from repro.experiments.config import (
-    ExperimentConfig,
     TABLE_ARRIVAL_RATES,
+    ExperimentConfig,
     paper_config,
 )
 from repro.experiments.report import format_table

@@ -17,7 +17,6 @@ meets a target delay bound.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 

@@ -16,8 +16,8 @@ yield identical workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterator, Optional, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Optional
 
 from repro.flows.flow import FlowRequest
 from repro.flows.group import AnycastGroup

@@ -1,0 +1,106 @@
+"""Project determinism linter: ``python -m repro.lint [paths...]``.
+
+A small AST-based static-analysis pass enforcing the determinism
+contract of this reproduction (rules R1-R4; see
+:mod:`repro.lint.rules` and CONTRIBUTING.md).  Zero dependencies
+beyond the standard library, so it runs anywhere the package does.
+
+Output is one ``path:line:col: CODE message`` line per finding; the
+process exits 0 when the tree is clean and 1 otherwise.  A finding is
+silenced for one line with a trailing ``# repro-lint: disable=RX``
+comment (comma-separate codes to disable several).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.lint.rules import (
+    ALL_RULES,
+    Violation,
+    check_source,
+    rules_for_path,
+    suppressions_by_line,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Violation",
+    "check_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "rules_for_path",
+    "suppressions_by_line",
+]
+
+
+def lint_file(
+    path: Union[str, Path], source: Optional[str] = None
+) -> list[Violation]:
+    """Lint one file (reading it unless ``source`` is given)."""
+    if source is None:
+        source = Path(path).read_text(encoding="utf-8")
+    return check_source(source, path)
+
+
+def _collect_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> list[Violation]:
+    """Lint files and directory trees; returns all findings, sorted."""
+    violations: list[Violation] = []
+    for file_path in _collect_files(paths):
+        violations.extend(lint_file(file_path))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism linter for the repro package (rules R1-R4).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule codes and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code in sorted(ALL_RULES):
+            print(f"{code}  {ALL_RULES[code]}")
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file or directory: {path}", file=sys.stderr)
+        return 2
+    violations = lint_paths(args.paths)
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(
+            f"repro-lint: {len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''} found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

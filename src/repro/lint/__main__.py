@@ -1,0 +1,17 @@
+"""Module entry point: ``python -m repro.lint``."""
+
+import os
+import sys
+
+from repro.lint import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; the
+        # findings that mattered were already delivered downstream.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(1)

@@ -14,8 +14,7 @@ to the admission-control machinery.
   19-node MCI ISP backbone of the paper's evaluation.
 """
 
-from repro.network.link import Link, InsufficientBandwidthError
-from repro.network.topology import Network, NetworkError
+from repro.network.link import InsufficientBandwidthError, Link
 from repro.network.routing import (
     Route,
     RouteTable,
@@ -35,6 +34,7 @@ from repro.network.topologies import (
     star,
     waxman_random,
 )
+from repro.network.topology import Network, NetworkError
 
 __all__ = [
     "InsufficientBandwidthError",

@@ -25,16 +25,26 @@ DAC procedure absorbs faults without new machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Optional
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+)
 
 from repro.network.topology import Network
 from repro.sim.engine import Simulator
 from repro.sim.random_streams import RandomStream
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.network.routing import Route
+
 NodeId = Hashable
 FlowId = Hashable
-LinkKey = tuple
+LinkKey = tuple[NodeId, NodeId]
 
 
 @dataclass
@@ -44,7 +54,7 @@ class FaultEvent:
     time: float
     link: LinkKey
     failed: bool
-    killed_flows: tuple = ()
+    killed_flows: tuple[FlowId, ...] = ()
 
 
 class FaultState:
@@ -56,24 +66,24 @@ class FaultState:
     returns their identifiers so callers can tear them down end to end.
     """
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network) -> None:
         self.network = network
-        self._down: set[frozenset] = set()
+        self._down: set[frozenset[NodeId]] = set()
         self.events: list[FaultEvent] = []
 
     @staticmethod
-    def _cable(u: NodeId, v: NodeId) -> frozenset:
+    def _cable(u: NodeId, v: NodeId) -> frozenset[NodeId]:
         return frozenset((u, v))
 
     def is_down(self, u: NodeId, v: NodeId) -> bool:
         """Whether the physical cable between ``u`` and ``v`` is down."""
         return self._cable(u, v) in self._down
 
-    def down_cables(self) -> list[tuple]:
+    def down_cables(self) -> list[tuple[NodeId, ...]]:
         """Currently failed cables as sorted node pairs."""
         return sorted(tuple(sorted(cable, key=repr)) for cable in self._down)
 
-    def path_is_up(self, path) -> bool:
+    def path_is_up(self, path: Sequence[NodeId]) -> bool:
         """Whether every cable along ``path`` is functioning."""
         return all(
             not self.is_down(u, v) for u, v in zip(path, path[1:])
@@ -124,7 +134,7 @@ class FaultAwareReservationEngine:
     fault-handling extension.
     """
 
-    def __init__(self, network: Network, faults: FaultState):
+    def __init__(self, network: Network, faults: FaultState) -> None:
         from repro.core.reservation import AtomicReservationEngine
 
         self.faults = faults
@@ -140,7 +150,9 @@ class FaultAwareReservationEngine:
         """Attempts refused (saturation or fault)."""
         return self._inner.failures
 
-    def try_reserve(self, route, flow_id: FlowId, bandwidth_bps: float) -> bool:
+    def try_reserve(
+        self, route: "Route", flow_id: FlowId, bandwidth_bps: float
+    ) -> bool:
         """Reserve unless saturated *or* the route crosses a failure."""
         if not self.faults.path_is_up(route.path):
             self._inner.attempts += 1
@@ -148,7 +160,7 @@ class FaultAwareReservationEngine:
             return False
         return self._inner.try_reserve(route, flow_id, bandwidth_bps)
 
-    def release(self, path, flow_id: FlowId) -> None:
+    def release(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
         """Release surviving reservations of a flow along ``path``.
 
         After a fault some links may already have dropped the flow, so
@@ -188,9 +200,9 @@ class FaultInjector:
         rng: RandomStream,
         mean_time_to_failure_s: float,
         mean_time_to_repair_s: float,
-        cables: Optional[Iterable[tuple]] = None,
-        on_fail: Optional[Callable[[tuple, list], None]] = None,
-    ):
+        cables: Optional[Iterable[LinkKey]] = None,
+        on_fail: Optional[Callable[[LinkKey, list[FlowId]], None]] = None,
+    ) -> None:
         if mean_time_to_failure_s <= 0 or mean_time_to_repair_s <= 0:
             raise ValueError("failure and repair means must be positive")
         self.simulator = simulator
@@ -200,7 +212,7 @@ class FaultInjector:
         self.mttr = mean_time_to_repair_s
         self.on_fail = on_fail
         if cables is None:
-            seen = set()
+            seen: set[frozenset[NodeId]] = set()
             cables = []
             for link in faults.network.links():
                 cable = frozenset((link.source, link.target))
@@ -227,11 +239,11 @@ class FaultInjector:
         """
         self._stopped = True
 
-    def _schedule_failure(self, cable: tuple) -> None:
+    def _schedule_failure(self, cable: LinkKey) -> None:
         delay = self.rng.exponential(self.mttf)
         self.simulator.schedule(delay, lambda: self._fail(cable))
 
-    def _fail(self, cable: tuple) -> None:
+    def _fail(self, cable: LinkKey) -> None:
         if self._stopped:
             return
         u, v = cable
@@ -243,7 +255,7 @@ class FaultInjector:
             self.rng.exponential(self.mttr), lambda: self._repair(cable)
         )
 
-    def _repair(self, cable: tuple) -> None:
+    def _repair(self, cable: LinkKey) -> None:
         u, v = cable
         self.faults.repair(u, v, now=self.simulator.now)
         if not self._stopped:

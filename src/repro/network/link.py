@@ -29,6 +29,8 @@ import math
 from array import array
 from typing import Hashable, Iterator, Optional
 
+from repro import invariants as _invariants
+
 FlowId = Hashable
 NodeId = Hashable
 
@@ -60,7 +62,7 @@ class LinkStateArrays:
 
     __slots__ = ("capacity", "reserved")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.capacity = array("d")
         self.reserved = array("d")
 
@@ -78,7 +80,7 @@ class LinkStateArrays:
         """Available bandwidth of the link with id ``index``."""
         return self.capacity[index] - self.reserved[index]
 
-    def available_snapshot(self) -> array:
+    def available_snapshot(self) -> "array[float]":
         """A fresh ``array('d')`` of every link's available bandwidth."""
         capacity = self.capacity
         reserved = self.reserved
@@ -124,7 +126,7 @@ class Link:
         capacity_bps: float,
         propagation_delay_s: float = 0.001,
         state: Optional[LinkStateArrays] = None,
-    ):
+    ) -> None:
         if capacity_bps < 0:
             raise ValueError(f"capacity must be non-negative, got {capacity_bps}")
         if propagation_delay_s < 0:
@@ -232,6 +234,8 @@ class Link:
         self._reservations[flow_id] = float(bandwidth_bps)
         self._state.reserved[self._index] += float(bandwidth_bps)
         self.grants += 1
+        if _invariants.enabled:
+            _invariants.check_link(self)
 
     def release(self, flow_id: FlowId) -> float:
         """Release the reservation held by ``flow_id``.
@@ -260,6 +264,8 @@ class Link:
             assert state.reserved[index] >= 0.0, (
                 f"negative reserved total on link {self.source}->{self.target}"
             )
+        if _invariants.enabled:
+            _invariants.check_link(self)
         return bandwidth
 
     def release_if_held(self, flow_id: FlowId) -> float:

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
+from repro.network.link import Link
 from repro.network.topology import Network, NetworkError
 
 NodeId = Hashable
@@ -158,8 +159,8 @@ def _restricted_bfs(
     network: Network,
     source: NodeId,
     target: NodeId,
-    banned_nodes: set,
-    banned_links: set,
+    banned_nodes: set[NodeId],
+    banned_links: set[tuple[NodeId, NodeId]],
 ) -> Optional[list[NodeId]]:
     """BFS avoiding given nodes and directed links (helper for Yen)."""
     if source == target:
@@ -202,13 +203,19 @@ class Route:
 
     source: NodeId
     destination: NodeId
-    path: tuple
-    _links: Optional[tuple] = field(default=None, compare=False, repr=False)
+    path: tuple[NodeId, ...]
+    _links: Optional[tuple[Link, ...]] = field(
+        default=None, compare=False, repr=False
+    )
     _links_network: Optional[Network] = field(
         default=None, compare=False, repr=False
     )
-    _link_keys: Optional[tuple] = field(default=None, compare=False, repr=False)
-    _link_indices: Optional[tuple] = field(default=None, compare=False, repr=False)
+    _link_keys: Optional[tuple[tuple[NodeId, NodeId], ...]] = field(
+        default=None, compare=False, repr=False
+    )
+    _link_indices: Optional[tuple[int, ...]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def distance(self) -> int:
@@ -218,7 +225,7 @@ class Route:
         """
         return max(0, len(self.path) - 1)
 
-    def resolve_links(self, network: Network) -> tuple:
+    def resolve_links(self, network: Network) -> tuple[Link, ...]:
         """Directed link objects of the path, cached per network.
 
         The cache is keyed by network identity, so a route queried
@@ -235,7 +242,7 @@ class Route:
         )
         return links
 
-    def resolve_link_indices(self, network: Network) -> tuple:
+    def resolve_link_indices(self, network: Network) -> tuple[int, ...]:
         """Dense link ids of the path within ``network.link_state``.
 
         Cached alongside :meth:`resolve_links`; the WD/D+B bottleneck
@@ -245,9 +252,11 @@ class Route:
         if self._link_indices is not None and self._links_network is network:
             return self._link_indices
         self.resolve_links(network)
-        return self._link_indices
+        indices = self._link_indices
+        assert indices is not None  # resolve_links always fills the cache
+        return indices
 
-    def link_keys(self) -> tuple:
+    def link_keys(self) -> tuple[tuple[NodeId, NodeId], ...]:
         """Directed ``(u, v)`` pairs of the path, cached."""
         keys = self._link_keys
         if keys is None:
@@ -286,12 +295,14 @@ class RouteTable:
     assumes.  The table preserves the member order of the group.
     """
 
-    def __init__(self, network: Network, source: NodeId, members: Sequence[NodeId]):
+    def __init__(
+        self, network: Network, source: NodeId, members: Sequence[NodeId]
+    ) -> None:
         if not members:
             raise NetworkError("anycast group must have at least one member")
         self.source = source
         self._routes: dict[NodeId, Route] = {}
-        ordered = []
+        ordered: list[NodeId] = []
         for member in members:
             path = shortest_path(network, source, member)
             if path is None:
@@ -305,7 +316,7 @@ class RouteTable:
             route.link_keys()
             self._routes[member] = route
             ordered.append(member)
-        self.members: tuple = tuple(ordered)
+        self.members: tuple[NodeId, ...] = tuple(ordered)
         self._route_list: list[Route] = [self._routes[m] for m in self.members]
 
     def route_to(self, member: NodeId) -> Route:

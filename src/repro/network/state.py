@@ -20,26 +20,47 @@ WD/D+B's advantage erodes as its information ages.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Hashable, Protocol, Sequence
 
-from repro.network.link import LinkStateArrays
+from repro import invariants
+from repro.network.link import Link, LinkStateArrays
 from repro.network.topology import Network
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.routing import Route
+
+NodeId = Hashable
 
 __all__ = [
     "BandwidthView",
     "LinkStateArrays",
     "LiveBandwidthView",
     "SnapshotBandwidthView",
+    "verify_link",
+    "verify_network",
 ]
+
+
+def verify_link(link: Link) -> None:
+    """Assert one link's accounting invariants (always runs).
+
+    Unconditional wrapper around :func:`repro.invariants.check_link`
+    for tests and debugging sessions; the hot-path hooks inside the
+    link layer run the same check only when the sanitizer is enabled.
+    """
+    invariants.check_link(link)
+
+
+def verify_network(network: Network) -> None:
+    """Assert every link's invariants plus cross-link reserve/release
+    pairing (always runs); see :func:`repro.invariants.check_network`."""
+    invariants.check_network(network)
 
 
 class BandwidthView(Protocol):
     """Source of (possibly stale) route-bandwidth information."""
 
-    def path_available_bps(self, path: Sequence) -> float:
+    def path_available_bps(self, path: Sequence[NodeId]) -> float:
         """Bottleneck available bandwidth of ``path`` as this view sees it."""
         ...
 
@@ -51,10 +72,10 @@ class BandwidthView(Protocol):
 class LiveBandwidthView:
     """Perfectly fresh information: queries hit the network directly."""
 
-    def __init__(self, network: Network):
+    def __init__(self, network: Network) -> None:
         self._network = network
 
-    def path_available_bps(self, path: Sequence) -> float:
+    def path_available_bps(self, path: Sequence[NodeId]) -> float:
         """Current bottleneck bandwidth of ``path``."""
         return self._network.path_available_bps(path)
 
@@ -106,7 +127,7 @@ class SnapshotBandwidthView:
         network: Network,
         clock: Callable[[], float],
         refresh_period_s: float,
-    ):
+    ) -> None:
         if refresh_period_s < 0:
             raise ValueError(
                 f"refresh period must be non-negative, got {refresh_period_s}"
@@ -114,7 +135,7 @@ class SnapshotBandwidthView:
         self._network = network
         self._clock = clock
         self.refresh_period_s = refresh_period_s
-        self._snapshot: dict = {}
+        self._snapshot: dict[tuple[NodeId, NodeId], float] = {}
         self._taken_at: float = float("-inf")
         #: number of snapshots taken (advertisement count)
         self.refreshes = 0
@@ -129,11 +150,11 @@ class SnapshotBandwidthView:
     @property
     def age_s(self) -> float:
         """Seconds since the current snapshot was taken."""
-        if self._taken_at == float("-inf"):
+        if self.refreshes == 0:  # no snapshot yet: infinitely stale
             return float("inf")
         return self._clock() - self._taken_at
 
-    def path_available_bps(self, path: Sequence) -> float:
+    def path_available_bps(self, path: Sequence[NodeId]) -> float:
         """Bottleneck bandwidth according to the cached snapshot."""
         self._maybe_refresh()
         if len(path) < 2:

@@ -17,10 +17,10 @@ of view; helpers below default to that value.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.network.topology import Network
-from repro.sim.random_streams import RandomStream, StreamFactory
+from repro.sim.random_streams import StreamFactory
 
 #: Raw cable speed in the paper's experiments (bits per second).
 LINK_CAPACITY_BPS = 100_000_000
@@ -66,7 +66,7 @@ MCI_GROUP_MEMBERS: tuple[int, ...] = (0, 4, 8, 12, 16)
 
 def _build(
     name: str,
-    edges: Sequence[tuple],
+    edges: Sequence[tuple[int, int]],
     capacity_bps: float,
     propagation_delay_s: float,
 ) -> Network:

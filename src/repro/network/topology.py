@@ -10,14 +10,10 @@ its direction of travel.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Hashable, Iterator, Sequence
 
-from repro.network.link import (
-    ADMIT_EPSILON_BPS,
-    InsufficientBandwidthError,
-    Link,
-    LinkStateArrays,
-)
+from repro import invariants as _invariants
+from repro.network.link import ADMIT_EPSILON_BPS, Link, LinkStateArrays
 
 NodeId = Hashable
 FlowId = Hashable
@@ -39,9 +35,9 @@ class Network:
         Diagnostic label shown in reports.
     """
 
-    def __init__(self, name: str = "network"):
+    def __init__(self, name: str = "network") -> None:
         self.name = name
-        self._nodes: dict[NodeId, dict] = {}
+        self._nodes: dict[NodeId, dict[str, Any]] = {}
         self._links: dict[tuple[NodeId, NodeId], Link] = {}
         self._adjacency: dict[NodeId, list[NodeId]] = {}
         #: Columnar bandwidth accounting shared by every link; link
@@ -52,7 +48,7 @@ class Network:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_node(self, node: NodeId, **attributes) -> None:
+    def add_node(self, node: NodeId, **attributes: Any) -> None:
         """Add a node; re-adding an existing node updates attributes."""
         if node in self._nodes:
             self._nodes[node].update(attributes)
@@ -112,7 +108,7 @@ class Network:
         """All node identifiers in insertion order."""
         return list(self._nodes)
 
-    def node_attributes(self, node: NodeId) -> dict:
+    def node_attributes(self, node: NodeId) -> dict[str, Any]:
         """Attribute dict of ``node`` (mutable view)."""
         try:
             return self._nodes[node]
@@ -231,6 +227,9 @@ class Network:
             reserved[index] += amount
             link.grants += 1
             granted += 1
+        if _invariants.enabled:
+            for link in links:
+                _invariants.check_link(link)
         return True
 
     def release_path(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
@@ -251,7 +250,7 @@ class Network:
     # ------------------------------------------------------------------
     # interop
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Export to a :class:`networkx.DiGraph` (for tests/analysis).
 
         Link attributes ``capacity_bps``, ``available_bps`` and

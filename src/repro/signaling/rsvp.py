@@ -23,7 +23,7 @@ which tests quantify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Optional, Sequence
 
 from repro.network.link import InsufficientBandwidthError

@@ -17,7 +17,9 @@ equivalent providing the same modelling vocabulary:
 * :mod:`repro.sim.metrics` -- metric collection for simulation runs.
 """
 
-from repro.sim.engine import Event, Simulator, SimulationError
+from typing import Any
+
+from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.process import Process, Signal, hold, wait
 from repro.sim.random_streams import RandomStream, StreamFactory
 from repro.sim.resources import Facility, Storage
@@ -32,7 +34,7 @@ from repro.sim.trace import FlowRecord, TraceRecorder
 # FaultConfig and the simulation classes live in repro.sim.simulation;
 # importing them here would recreate the sim <-> core import cycle, so
 # they are re-exported lazily.
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     if name in ("AnycastSimulation", "FaultConfig", "run_simulation"):
         from repro.sim import simulation
 

@@ -28,8 +28,9 @@ Select it with ``Simulator(queue="calendar")``; the benchmark
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import MutableSequence, Optional
 
+from repro import invariants as _invariants
 from repro.sim.engine import Event
 
 
@@ -38,7 +39,7 @@ class CalendarQueue:
 
     _MIN_BUCKETS = 4
 
-    def __init__(self, initial_width: float = 1.0):
+    def __init__(self, initial_width: float = 1.0) -> None:
         if initial_width <= 0:
             raise ValueError(f"bucket width must be positive, got {initial_width}")
         self._width = float(initial_width)
@@ -82,7 +83,7 @@ class CalendarQueue:
             bucket.insert(low, event)
         self._count += 1
 
-    def _purge_head(self, bucket: list) -> None:
+    def _purge_head(self, bucket: list[Event]) -> None:
         """Drop cancelled events sitting at the head of one bucket."""
         while bucket and bucket[0]._cancelled:
             bucket.pop(0)
@@ -111,6 +112,10 @@ class CalendarQueue:
                     self._cursor_top = (
                         math.floor(event.time / width) + 1
                     ) * width
+                    if _invariants.enabled:
+                        _invariants.check_time_monotonic(
+                            self._last_time, event.time, "CalendarQueue.pop_min"
+                        )
                     self._last_time = event.time
                     if self._count < len(self._buckets) // 2 and len(
                         self._buckets
@@ -132,7 +137,9 @@ class CalendarQueue:
             ) * width
         return None  # pragma: no cover - unreachable
 
-    def pop_run_into(self, out, until: Optional[float] = None) -> int:
+    def pop_run_into(
+        self, out: MutableSequence[Event], until: Optional[float] = None
+    ) -> int:
         """Pop the earliest same-timestamp run of live events into ``out``.
 
         Same contract as :meth:`repro.sim.engine.HeapQueue.pop_run_into`:
@@ -153,7 +160,8 @@ class CalendarQueue:
         # Same-timestamp events hash to the same bucket and sit at its
         # head in insertion order; drain them without rescanning.
         bucket = self._buckets[int(time / self._width) % len(self._buckets)]
-        while bucket and bucket[0].time == time:
+        # Same-timestamp batching: exact equality is the contract.
+        while bucket and bucket[0].time == time:  # repro-lint: disable=R4
             event = bucket.pop(0)
             self._count -= 1
             if event._cancelled:

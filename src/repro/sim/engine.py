@@ -32,9 +32,12 @@ Example
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Callable, Optional
+from typing import Any, Callable, MutableSequence, Optional, Protocol
+
+from repro import invariants as _invariants
 
 _INF = float("inf")
 
@@ -45,6 +48,12 @@ class SimulationError(RuntimeError):
     Examples include scheduling an event in the past or running a
     simulator that has already been stopped and drained.
     """
+
+
+class _EventOwner(Protocol):
+    """A pending-event set that tracks its live-event count."""
+
+    def _note_cancelled(self) -> None: ...
 
 
 class Event:
@@ -65,12 +74,14 @@ class Event:
 
     __slots__ = ("time", "callback", "_sequence", "_cancelled", "_owner")
 
-    def __init__(self, time: float, callback: Callable[[], Any], sequence: int):
+    def __init__(
+        self, time: float, callback: Callable[[], Any], sequence: int
+    ) -> None:
         self.time = time
         self.callback = callback
         self._sequence = sequence
         self._cancelled = False
-        self._owner = None
+        self._owner: Optional[_EventOwner] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
@@ -88,7 +99,8 @@ class Event:
         return self._cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
+        # Exact equality is the tie-break trigger here, by design.
+        if self.time != other.time:  # repro-lint: disable=R4
             return self.time < other.time
         return self._sequence < other._sequence
 
@@ -110,7 +122,7 @@ class HeapQueue:
 
     __slots__ = ("_heap", "_live")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._live = 0
 
@@ -134,7 +146,9 @@ class HeapQueue:
                 return event
         return None
 
-    def pop_run_into(self, out, until: Optional[float] = None) -> int:
+    def pop_run_into(
+        self, out: MutableSequence[Event], until: Optional[float] = None
+    ) -> int:
         """Pop the earliest same-timestamp run of live events into ``out``.
 
         Appends every live event whose time equals the earliest pending
@@ -155,7 +169,8 @@ class HeapQueue:
             event._owner = None
             append(event)
             count = 1
-            while heap and heap[0][0] == time:
+            # Same-timestamp batching: exact equality is the contract.
+            while heap and heap[0][0] == time:  # repro-lint: disable=R4
                 event = heappop(heap)[2]
                 if event._cancelled:
                     continue
@@ -193,7 +208,7 @@ class HeapQueue:
         self._live -= 1
 
 
-def _make_queue(kind: str):
+def _make_queue(kind: str) -> "HeapQueue | CalendarQueue":
     if kind == "heap":
         return HeapQueue()
     if kind == "calendar":
@@ -219,16 +234,35 @@ class Simulator:
         Pending-event set implementation: ``"heap"`` (default) or
         ``"calendar"`` (Brown's calendar queue).  Execution order is
         identical; only the performance profile differs.
+    check_invariants:
+        Enable the runtime sanitizer for this simulator: every
+        dispatched event batch is verified for time monotonicity and
+        same-timestamp coherence (see :mod:`repro.invariants`).
+        Defaults to the process-wide switch
+        (``REPRO_CHECK_INVARIANTS=1``).  Execution order is identical
+        with the sanitizer on or off — the golden determinism tests
+        run both ways.
     """
 
-    def __init__(self, start_time: float = 0.0, queue: str = "heap"):
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        queue: str = "heap",
+        check_invariants: Optional[bool] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue = _make_queue(queue)
         self._push = self._queue.push
         # Direct reference to the heap list when the default queue is
         # in use: schedule() then pushes without a method call.
-        self._heap_fast = (
-            self._queue._heap if type(self._queue) is HeapQueue else None
+        queue_impl = self._queue
+        self._heap_fast: Optional[list[tuple[float, int, Event]]] = (
+            queue_impl._heap if isinstance(queue_impl, HeapQueue) else None
+        )
+        self._check = (
+            _invariants.enabled
+            if check_invariants is None
+            else bool(check_invariants)
         )
         self._sequence = itertools.count()
         self._running = False
@@ -291,7 +325,7 @@ class Simulator:
             If ``delay`` is negative or not finite.
         """
         time = self._now + float(delay)
-        if time >= self._now and time != _INF:  # NaN fails the >= test
+        if self._now <= time < _INF:  # NaN fails the <= test
             sequence = next(self._sequence)
             event = Event(time, callback, sequence)
             heap = self._heap_fast
@@ -313,7 +347,7 @@ class Simulator:
         ``time`` must not precede the current clock.
         """
         time = float(time)
-        if time != time or time == float("inf"):  # NaN or +inf
+        if math.isnan(time) or math.isinf(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SimulationError(
@@ -346,6 +380,10 @@ class Simulator:
             event = self._queue.pop_min()
             if event is None:
                 return False
+        if self._check:
+            _invariants.check_time_monotonic(
+                self._now, event.time, "Simulator.step"
+            )
         self._now = event.time
         self._events_executed += 1
         event.callback()
@@ -379,7 +417,7 @@ class Simulator:
         horizon = _INF if until is None else until
         budget = _INF if max_events is None else max_events
         try:
-            if type(queue) is HeapQueue and not batch:
+            if type(queue) is HeapQueue and not batch and not self._check:
                 # Fast path: dispatch straight off the heap list.  The
                 # order is identical to the batched path below — a
                 # same-timestamp run is just consecutive pops — but no
@@ -410,6 +448,8 @@ class Simulator:
                     # lie past a tighter `until` and must not execute.
                     if batch and batch[0].time > horizon:
                         break
+                    if self._check and batch:
+                        self._verify_batch(batch)
                     while batch:
                         event = batch.popleft()
                         if event._cancelled:
@@ -430,6 +470,19 @@ class Simulator:
                 next_time = queue.peek_time()
                 if next_time is None or next_time > until:
                     self._now = until
+
+    def _verify_batch(self, batch: "deque[Event]") -> None:
+        """Sanitizer: a run must be coherent and never move time back."""
+        run_time = batch[0].time
+        _invariants.check_time_monotonic(
+            self._now, run_time, "Simulator.run"
+        )
+        for event in batch:
+            if event.time != run_time:  # repro-lint: disable=R4
+                raise _invariants.InvariantViolation(
+                    f"same-timestamp run mixes times {run_time!r} "
+                    f"and {event.time!r}"
+                )
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

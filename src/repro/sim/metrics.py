@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Callable, Hashable
 
 from repro.core.admission import AdmissionResult
 from repro.sim.stats import BatchMeans, RunningStats, TimeWeightedStats
@@ -35,17 +35,19 @@ class MetricsCollector:
         Batch size for the batch-means CI on the admission indicator.
     """
 
-    def __init__(self, clock, batch_size: int = 200):
+    def __init__(
+        self, clock: Callable[[], float], batch_size: int = 200
+    ) -> None:
         self._clock = clock
         self.requests = 0
         self.admitted = 0
         self.attempts = RunningStats()
         self.retrials = RunningStats()
         self.admit_batches = BatchMeans(batch_size)
-        self.destination_counts: Counter = Counter()
-        self.attempt_histogram: Counter = Counter()
-        self.source_requests: Counter = Counter()
-        self.source_admitted: Counter = Counter()
+        self.destination_counts: Counter[NodeId] = Counter()
+        self.attempt_histogram: Counter[int] = Counter()
+        self.source_requests: Counter[NodeId] = Counter()
+        self.source_admitted: Counter[NodeId] = Counter()
         self.active_flows = TimeWeightedStats(clock)
         self.active_flows.record(0.0)
         self._active = 0
@@ -62,8 +64,10 @@ class MetricsCollector:
         self.admit_batches.record(1.0 if result.admitted else 0.0)
         self.source_requests[result.request.source] += 1
         if result.admitted:
+            flow = result.flow
+            assert flow is not None  # admitted implies a granted flow
             self.admitted += 1
-            self.destination_counts[result.flow.destination] += 1
+            self.destination_counts[flow.destination] += 1
             self.source_admitted[result.request.source] += 1
 
     def record_flow_start(self) -> None:
@@ -100,7 +104,7 @@ class MetricsCollector:
         """Batch-means confidence interval on AP."""
         return self.admit_batches.confidence_interval(level)
 
-    def per_source_ap(self) -> dict:
+    def per_source_ap(self) -> dict[NodeId, float]:
         """AP seen by each source over the measurement window."""
         return {
             source: self.source_admitted.get(source, 0) / count
@@ -152,10 +156,12 @@ class SimulationResult:
     mean_attempts: float
     mean_retrials: float
     mean_active_flows: float
-    destination_share: dict = field(default_factory=dict)
-    attempt_histogram: dict = field(default_factory=dict)
-    link_utilization: dict = field(default_factory=dict)
-    per_source_ap: dict = field(default_factory=dict)
+    destination_share: dict[NodeId, float] = field(default_factory=dict)
+    attempt_histogram: dict[int, int] = field(default_factory=dict)
+    link_utilization: dict[tuple[NodeId, NodeId], float] = field(
+        default_factory=dict
+    )
+    per_source_ap: dict[NodeId, float] = field(default_factory=dict)
     fairness_index: float = 1.0
 
     @property

@@ -34,7 +34,7 @@ class Hold:
 
     __slots__ = ("delay",)
 
-    def __init__(self, delay: float):
+    def __init__(self, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"hold delay must be non-negative, got {delay}")
         self.delay = float(delay)
@@ -45,7 +45,7 @@ class Wait:
 
     __slots__ = ("signal",)
 
-    def __init__(self, signal: "Signal"):
+    def __init__(self, signal: "Signal") -> None:
         self.signal = signal
 
 
@@ -76,7 +76,9 @@ class Signal:
         termination and completion conditions use latched signals.
     """
 
-    def __init__(self, sim: Simulator, name: str = "", latch: bool = False):
+    def __init__(
+        self, sim: Simulator, name: str = "", latch: bool = False
+    ) -> None:
         self._sim = sim
         self.name = name
         self.latch = latch
@@ -134,7 +136,7 @@ class Process:
         generator: Generator[Any, Any, Any],
         name: str = "",
         start_delay: float = 0.0,
-    ):
+    ) -> None:
         self._sim = sim
         self._generator = generator
         self.name = name
@@ -209,8 +211,8 @@ def all_of(sim: Simulator, processes: Iterable[Process]) -> Signal:
 
     state = {"remaining": len(processes)}
 
-    def make_waiter(process: Process):
-        def waiter():
+    def make_waiter(process: Process) -> Generator[Any, Any, None]:
+        def waiter() -> Generator[Any, Any, None]:
             yield wait(process.terminated())
             state["remaining"] -= 1
             if state["remaining"] == 0:

@@ -15,7 +15,7 @@ sequences, which makes whole experiments bit-for-bit reproducible.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Sequence, TypeVar
+from typing import Any, Sequence, TypeVar
 
 import numpy as np
 
@@ -35,7 +35,9 @@ class RandomStream:
     the variates the anycast model needs, with validation.
     """
 
-    def __init__(self, seed_sequence: np.random.SeedSequence, name: str = ""):
+    def __init__(
+        self, seed_sequence: np.random.SeedSequence, name: str = ""
+    ) -> None:
         self.name = name
         self._generator = np.random.Generator(np.random.PCG64(seed_sequence))
         self.draws = 0
@@ -96,7 +98,7 @@ class RandomStream:
                 return item
         return items[-1]  # guard against floating-point edge at total
 
-    def shuffle(self, items: list) -> None:
+    def shuffle(self, items: "list[Any]") -> None:
         """Shuffle ``items`` in place."""
         self.draws += 1
         self._generator.shuffle(items)
@@ -123,7 +125,7 @@ class StreamFactory:
         seed hand out identical streams for identical names.
     """
 
-    def __init__(self, root_seed: int = 0):
+    def __init__(self, root_seed: int = 0) -> None:
         self.root_seed = int(root_seed)
         self._issued: dict[str, RandomStream] = {}
 

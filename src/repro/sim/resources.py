@@ -40,7 +40,7 @@ class Storage:
         Diagnostic label.
     """
 
-    def __init__(self, sim: Simulator, capacity: float, name: str = ""):
+    def __init__(self, sim: Simulator, capacity: float, name: str = "") -> None:
         if capacity < 0:
             raise SimulationError(f"capacity must be non-negative, got {capacity}")
         self._sim = sim
@@ -124,7 +124,7 @@ class Facility:
     message processing at routers.
     """
 
-    def __init__(self, sim: Simulator, servers: int = 1, name: str = ""):
+    def __init__(self, sim: Simulator, servers: int = 1, name: str = "") -> None:
         if servers < 1:
             raise SimulationError(f"facility needs >= 1 server, got {servers}")
         self._sim = sim

@@ -37,8 +37,11 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Hashable, Optional
 
+NodeId = Hashable
+
+from repro.core.admission import ACRouter
 from repro.core.system import AdmissionSystem, SystemSpec, build_system
 from repro.flows.flow import AdmittedFlow, FlowRequest
 from repro.flows.traffic import TrafficModel, WorkloadSpec
@@ -76,9 +79,9 @@ class FaultConfig:
 
     mean_time_to_failure_s: float
     mean_time_to_repair_s: float
-    cables: Optional[tuple] = None
+    cables: Optional[tuple[tuple[NodeId, NodeId], ...]] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mean_time_to_failure_s <= 0 or self.mean_time_to_repair_s <= 0:
             raise ValueError("failure and repair means must be positive")
 
@@ -132,7 +135,7 @@ class AnycastSimulation:
         fault_config: Optional[FaultConfig] = None,
         trace: Optional["TraceRecorder"] = None,
         queue: str = "heap",
-    ):
+    ) -> None:
         if warmup_s < 0 or measure_s <= 0:
             raise ValueError(
                 f"need warmup >= 0 and measure > 0, got {warmup_s}, {measure_s}"
@@ -173,7 +176,9 @@ class AnycastSimulation:
             # Every AC-router shares the fault-aware engine so failed
             # routes are refused like saturated ones.
             for source in workload.sources:
-                self.system.controller_for(source).reservation = engine
+                controller = self.system.controller_for(source)
+                assert isinstance(controller, ACRouter)  # GDI rejected above
+                controller.reservation = engine
             self._fault_injector = FaultInjector(
                 self.simulator,
                 self.fault_state,
@@ -205,7 +210,8 @@ class AnycastSimulation:
             if self.trace is not None:
                 self.trace.record(result)
         if result.admitted:
-            flow = result.flow
+            assert result.flow is not None  # admitted implies a granted flow
+            flow: AdmittedFlow = result.flow
             self.metrics.record_flow_start()
             departure = self.simulator.schedule(
                 request.lifetime_s, lambda: self._handle_departure(flow)
@@ -217,7 +223,9 @@ class AnycastSimulation:
         self.system.release(flow)
         self.metrics.record_flow_end()
 
-    def _handle_fault(self, cable: tuple, killed_flow_ids: list) -> None:
+    def _handle_fault(
+        self, cable: tuple[NodeId, NodeId], killed_flow_ids: list[int]
+    ) -> None:
         """Finish tearing down flows whose route crossed a failed cable."""
         for flow_id in killed_flow_ids:
             entry = self._active.pop(flow_id, None)
@@ -227,6 +235,7 @@ class AnycastSimulation:
             departure.cancel()
             # The failed cable already dropped its legs; release the rest.
             controller = self.system.controller_for(flow.request.source)
+            assert isinstance(controller, ACRouter)  # faults imply distributed
             controller.reservation.release(flow.path, flow_id)
             flow.released = True
             self.metrics.record_flow_end()

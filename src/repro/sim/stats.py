@@ -26,7 +26,7 @@ class RunningStats:
     Numerically stable for long runs; O(1) memory.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -112,7 +112,7 @@ class TimeWeightedStats:
         Zero-argument callable returning the current simulation time.
     """
 
-    def __init__(self, clock: Callable[[], float]):
+    def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
         self._last_time: Optional[float] = None
         self._last_value = 0.0
@@ -194,7 +194,7 @@ class BatchMeans:
     confidence interval from a single long run.
     """
 
-    def __init__(self, batch_size: int):
+    def __init__(self, batch_size: int) -> None:
         if batch_size < 1:
             raise ValueError(f"batch size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
@@ -299,7 +299,6 @@ def confidence_interval(
     variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
     if variance == 0:
         return (mean, mean)
-    half_width = (
-        _scipy_stats.t.ppf((1 + level) / 2, n - 1) * math.sqrt(variance / n)
-    )
+    quantile = float(_scipy_stats.t.ppf((1 + level) / 2, n - 1))
+    half_width = quantile * math.sqrt(variance / n)
     return (mean - half_width, mean + half_width)

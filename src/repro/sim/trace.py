@@ -14,7 +14,7 @@ import csv
 import io
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Hashable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - break the sim <-> core cycle
     from repro.core.admission import AdmissionResult
@@ -53,7 +53,7 @@ class FlowRecord:
     destination: Optional[NodeId]
     hop_count: int
     attempts: int
-    tried: tuple
+    tried: tuple[NodeId, ...]
     lifetime_s: Optional[float]
 
     @classmethod
@@ -97,7 +97,7 @@ class TraceRecorder:
         million, ~100 MB worst case).
     """
 
-    def __init__(self, max_records: int = 1_000_000):
+    def __init__(self, max_records: int = 1_000_000) -> None:
         if max_records < 1:
             raise ValueError(f"max records must be >= 1, got {max_records}")
         self._records: deque[FlowRecord] = deque(maxlen=max_records)

@@ -9,7 +9,6 @@ distribution and the per-class blocking probabilities exactly — a much
 stronger check than the Monte-Carlo comparison elsewhere in the suite.
 """
 
-import itertools
 
 import numpy as np
 import pytest

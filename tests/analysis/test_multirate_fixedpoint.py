@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.analysis.erlang import erlang_b
 from repro.analysis.fixedpoint import ReducedLoadSolver, RouteLoad
 from repro.analysis.multirate import TrafficClass, class_blocking
 from repro.analysis.multirate_fixedpoint import (

@@ -4,16 +4,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.flows.flow import FlowRequest
 from repro.flows.group import AnycastGroup
 from repro.flows.qos import QoSRequirement
-from repro.flows.flow import FlowRequest
 from repro.flows.traffic import WorkloadSpec
 from repro.network.topologies import (
     MCI_GROUP_MEMBERS,
     MCI_SOURCES,
     line,
     mci_backbone,
-    star,
 )
 from repro.network.topology import Network
 from repro.sim.engine import Simulator

@@ -4,11 +4,7 @@ import pytest
 
 from repro.core.admission import ACRouter
 from repro.core.retrial import CounterRetrialPolicy
-from repro.core.selection import (
-    EvenDistribution,
-    SelectionContext,
-    ShortestPathSelector,
-)
+from repro.core.selection import EvenDistribution, SelectionContext
 from repro.flows.flow import FlowRequest
 from repro.flows.group import AnycastGroup
 from repro.flows.qos import QoSRequirement

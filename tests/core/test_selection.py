@@ -14,7 +14,6 @@ from repro.core.selection import (
 from repro.flows.group import AnycastGroup
 from repro.network.routing import RouteTable
 from repro.network.topologies import line, mci_backbone
-from repro.network.topology import Network
 from repro.sim.random_streams import StreamFactory
 
 

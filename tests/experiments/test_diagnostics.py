@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.diagnostics import (
-    CongestionReport,
     _gini,
     compare_congestion,
     congestion_report,

@@ -1,0 +1,29 @@
+"""Planted R2 violations: iterating unordered sets.
+
+Linted (never imported) by ``tests/lint/test_rules.py``; keep line
+numbers stable when editing.
+"""
+
+
+def walk_literal() -> list[int]:
+    out = []
+    for item in {3, 1, 2}:  # line 10: R2 (set literal iteration)
+        out.append(item)
+    return out
+
+
+def walk_bound(values: list[int]) -> list[int]:
+    pending = set(values)
+    return [item for item in pending]  # line 17: R2 (bound set iteration)
+
+
+def materialize(values: list[int]) -> list[int]:
+    return list(set(values))  # line 21: R2 (list() over a set)
+
+
+def keys_view(mapping: dict[str, int]) -> list[str]:
+    return [key for key in mapping.keys()]  # line 25: R2 (.keys() view)
+
+
+def sorted_is_fine(values: list[int]) -> list[int]:
+    return sorted(set(values))  # allowed: sorted() imposes an order

@@ -1,0 +1,20 @@
+"""Planted-but-suppressed violations: this file must lint clean.
+
+Every breach below carries a ``repro-lint: disable`` comment, so
+``tests/lint/test_rules.py`` asserts zero findings here.
+"""
+
+import random  # repro-lint: disable=R1
+
+
+def jitter() -> float:
+    return random.random()  # repro-lint: disable=R1
+
+
+def same_instant(event_time: float, now: float) -> bool:
+    return event_time == now  # repro-lint: disable=R4
+
+
+def drain(values: list) -> list:
+    pending = set(values)
+    return [item for item in pending]  # repro-lint: disable=R2

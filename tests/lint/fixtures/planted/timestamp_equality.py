@@ -1,0 +1,21 @@
+"""Planted R4 violations: exact equality on simulation timestamps.
+
+Linted (never imported) by ``tests/lint/test_rules.py``; keep line
+numbers stable when editing.
+"""
+
+
+def same_instant(event_time: float, now: float) -> bool:
+    return event_time == now  # line 9: R4 (== on timestamps)
+
+
+def not_yet(arrival_time: float, deadline: float) -> bool:
+    return arrival_time != deadline  # line 13: R4 (!= on timestamps)
+
+
+def ordered(event_time: float, now: float) -> bool:
+    return event_time <= now  # allowed: ordering comparison
+
+
+def label_check(kind: str) -> bool:
+    return kind == "time"  # allowed: string constant comparison

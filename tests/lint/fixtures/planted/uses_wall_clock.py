@@ -1,0 +1,27 @@
+"""Planted R1 violations: unseeded randomness and wall-clock reads.
+
+This file is linted by ``tests/lint/test_rules.py`` and never
+imported; the expected (line, rule) pairs are asserted there, so keep
+line numbers stable when editing.
+"""
+
+import random  # line 8: R1 (banned module import)
+import time
+
+from time import monotonic  # line 11: R1 (wall clock via from-import)
+
+
+def jitter() -> float:
+    return random.random()  # line 15: R1 (unseeded draw)
+
+
+def stamp() -> float:
+    return time.time()  # line 19: R1 (wall clock)
+
+
+def elapsed() -> float:
+    return monotonic()  # line 23: R1 (wall clock via bound name)
+
+
+def duration() -> float:
+    return time.perf_counter()  # allowed: host-side benchmarking clock

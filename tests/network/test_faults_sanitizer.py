@@ -1,0 +1,113 @@
+"""Bandwidth conservation under link faults, with the sanitizer armed.
+
+A cable failure kills the flows crossing it (both directions fail
+together — a fiber cut), their reservations must be released along
+their *whole* route, and repairs must restore full capacity.  These
+tests run with the runtime sanitizer enabled, so every reserve/release
+on the way is also checked against the link-accounting invariants.
+"""
+
+import pytest
+
+from repro import invariants
+from repro.core.system import SystemSpec
+from repro.flows.group import AnycastGroup
+from repro.flows.traffic import WorkloadSpec
+from repro.network.faults import FaultState
+from repro.network.state import verify_network
+from repro.network.topologies import (
+    MCI_GROUP_MEMBERS,
+    MCI_SOURCES,
+    line,
+    mci_backbone,
+)
+from repro.sim.simulation import AnycastSimulation, FaultConfig
+
+
+@pytest.fixture
+def sanitizer():
+    """Arm the sanitizer for one test, restoring the prior state."""
+    previous = invariants.is_enabled()
+    invariants.set_enabled(True)
+    yield
+    invariants.set_enabled(previous)
+
+
+class TestFailRepairConservation:
+    def test_fail_releases_both_directions_and_conserves(self, sanitizer):
+        network = line(4)
+        assert network.reserve_path([0, 1, 2, 3], "f1", 100.0)
+        assert network.reserve_path([3, 2, 1, 0], "f2", 50.0)
+        before = network.total_reserved_bps()
+        assert before == pytest.approx(300.0 + 150.0)
+
+        faults = FaultState(network)
+        killed = faults.fail(1, 2, now=5.0)
+        # Both flows crossed the failed cable, one per direction.
+        assert sorted(killed, key=repr) == ["f1", "f2"]
+        assert faults.is_down(1, 2) and faults.is_down(2, 1)
+        # The failed cable's two directed links hold nothing now.
+        assert network.link(1, 2).reserved_bps == 0.0
+        assert network.link(2, 1).reserved_bps == 0.0
+
+        # Finish the teardown along the rest of each route, as the
+        # owning simulation would, then nothing may remain reserved.
+        for path, flow_id in (([0, 1, 2, 3], "f1"), ([3, 2, 1, 0], "f2")):
+            for link in network.path_links(path):
+                link.release_if_held(flow_id)
+        verify_network(network)
+        assert network.total_reserved_bps() == 0.0
+
+    def test_repair_restores_service(self, sanitizer):
+        network = line(3)
+        faults = FaultState(network)
+        faults.fail(0, 1)
+        assert faults.is_down(0, 1)
+        faults.repair(0, 1)
+        assert not faults.is_down(0, 1)
+        assert network.reserve_path([0, 1, 2], "f1", 100.0)
+        verify_network(network)
+        # Fail/repair transitions were both recorded for tracing.
+        assert [event.failed for event in faults.events] == [True, False]
+
+    def test_fail_is_idempotent(self, sanitizer):
+        network = line(3)
+        faults = FaultState(network)
+        first = faults.fail(0, 1)
+        second = faults.fail(0, 1)
+        assert first == [] and second == []
+        assert len(faults.events) == 1
+
+
+class TestFaultySimulationConservation:
+    @pytest.mark.slow
+    def test_faulty_run_conserves_bandwidth(self, sanitizer):
+        """A full fault-injected run, sanitizer on: after every flow
+        departs or is killed, no bandwidth may remain reserved."""
+        simulation = AnycastSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec("WD/D+H", retrials=2),
+            workload=WorkloadSpec(
+                arrival_rate=25.0,
+                sources=MCI_SOURCES,
+                group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+            ),
+            warmup_s=10.0,
+            measure_s=120.0,
+            seed=11,
+            fault_config=FaultConfig(
+                mean_time_to_failure_s=20.0,
+                mean_time_to_repair_s=5.0,
+            ),
+        )
+        result = simulation.run()
+        assert result.requests > 0
+        # Faults must actually have fired for this test to mean much.
+        assert simulation.fault_state is not None
+        assert simulation.fault_state.events
+        assert simulation.flows_dropped_by_faults > 0
+        # Drain the departures that outlive the measurement horizon
+        # (the injector is stopped, so the calendar empties).
+        simulation.simulator.run()
+        verify_network(simulation.network)
+        assert simulation.network.total_reserved_bps() == 0.0

@@ -156,8 +156,6 @@ class TestPathOperations:
 
 class TestNetworkXExport:
     def test_export_preserves_structure(self):
-        import networkx as nx
-
         net = build_triangle()
         graph = net.to_networkx()
         assert graph.number_of_nodes() == 3

@@ -2,13 +2,9 @@
 
 import pytest
 
-from repro.network.routing import Route, RouteTable
+from repro.network.routing import Route
 from repro.network.topologies import line
-from repro.signaling.rsvp import (
-    ReservationOutcome,
-    RsvpSession,
-    SignalledReservationEngine,
-)
+from repro.signaling.rsvp import RsvpSession, SignalledReservationEngine
 from repro.sim.engine import Simulator
 
 

@@ -203,7 +203,6 @@ class TestSimulatorIntegration:
 
     def test_full_simulation_identical_results(self):
         """A complete anycast run must not depend on the queue impl."""
-        import repro
         from repro.core.system import SystemSpec
         from repro.flows.group import AnycastGroup
         from repro.flows.traffic import WorkloadSpec

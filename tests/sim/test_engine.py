@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator
 
 
 class TestScheduling:
@@ -62,6 +62,17 @@ class TestScheduling:
             sim.schedule_at(float("nan"), lambda: None)
         with pytest.raises(SimulationError):
             sim.schedule_at(float("inf"), lambda: None)
+
+    def test_nan_and_inf_delays_rejected(self):
+        # NaN fails every comparison, so it must not slip through the
+        # relative-delay fast path either (math.isnan, not ``x != x``).
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule(-float("inf"), lambda: None)
 
     def test_zero_delay_event_fires_at_current_time(self):
         sim = Simulator()

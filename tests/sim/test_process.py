@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError
 from repro.sim.process import Process, Signal, all_of, hold, wait
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.random_streams import RandomStream, StreamFactory
+from repro.sim.random_streams import StreamFactory
 
 
 class TestDeterminism:

@@ -1,0 +1,66 @@
+"""The three static gates, runnable from pytest.
+
+``repro.lint`` is part of this repository and always runs.  ruff and
+mypy are dev extras: when they are installed (as in CI's
+``static-analysis`` job) the gates run for real; otherwise the tests
+skip rather than fail, so a minimal environment can still run the
+suite.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _module_available(name: str) -> bool:
+    import importlib.util
+
+    return importlib.util.find_spec(name) is not None
+
+
+def test_repro_lint_clean():
+    """The shipped package obeys its own determinism rules."""
+    violations = lint_paths([REPO_ROOT / "src" / "repro"])
+    assert violations == [], "\n".join(v.format() for v in violations)
+
+
+def test_repro_lint_cli_clean():
+    """The CLI entry point agrees with the library call."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src/repro"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_ruff_clean():
+    if shutil.which("ruff") is None:
+        pytest.skip("ruff not installed (dev extra)")
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "scripts"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_mypy_strict_clean():
+    if not _module_available("mypy"):
+        pytest.skip("mypy not installed (dev extra)")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
