@@ -187,3 +187,32 @@ def test_bottleneck_scan_speed(benchmark):
         return total
 
     assert benchmark(scan) > 0.0
+
+
+def test_signaling_overhead_scenario(benchmark):
+    """Correctness of the chaos run behind the signaling bench entries."""
+    from repro.experiments.chaos import ChaosConfig, ChaosSimulation
+
+    workload = WorkloadSpec(
+        arrival_rate=60.0,
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+        mean_lifetime_s=30.0,
+    )
+
+    def run():
+        return ChaosSimulation(
+            network_factory=mci_backbone,
+            system_spec=SystemSpec("WD/D+B", retrials=2),
+            workload=workload,
+            chaos=ChaosConfig(loss_rate=0.05),
+            warmup_s=5.0,
+            measure_s=10.0,
+            seed=3,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.admitted > 0
+    assert result.signaling_messages > 0
+    assert result.retransmissions > 0
+    assert result.leaked_bps == 0.0

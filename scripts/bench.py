@@ -189,6 +189,41 @@ def bench_fixedpoint_grid(points: int):
     return points, elapsed
 
 
+def bench_signaling_overhead(measure_s: float, loss_rate: float):
+    """Admitted flows per 1000 control-plane messages (chaos scenario).
+
+    Unlike the other benchmarks this measures a *deterministic* cost
+    ratio, not wall-clock throughput: the thunk returns (admitted *
+    1000, total control messages), so the reported "rate" is admitted
+    flows per kilomessage.  Higher is better — protocol changes that
+    inflate PATH/RESV/TEAR/refresh traffic (or retransmit more than
+    necessary) per admitted flow push it down, and the regression gate
+    catches that with zero run-to-run noise.
+    """
+    from repro.experiments.chaos import ChaosConfig, ChaosSimulation
+
+    workload = WorkloadSpec(
+        arrival_rate=60.0,
+        sources=MCI_SOURCES,
+        group=AnycastGroup("A", MCI_GROUP_MEMBERS),
+        mean_lifetime_s=30.0,
+    )
+    simulation = ChaosSimulation(
+        network_factory=mci_backbone,
+        system_spec=SystemSpec("WD/D+B", retrials=2),
+        workload=workload,
+        chaos=ChaosConfig(loss_rate=loss_rate),
+        warmup_s=5.0,
+        measure_s=measure_s,
+        seed=3,
+    )
+    result = simulation.run()
+    control_messages = result.signaling_messages + result.refresh_messages
+    assert result.admitted > 0 and control_messages > 0
+    assert result.leaked_bps == 0.0
+    return result.admitted * 1000, float(control_messages)
+
+
 def bench_end_to_end(measure_s: float):
     """Events/sec of a complete WD/D+B run on the MCI backbone."""
     workload = WorkloadSpec(
@@ -252,6 +287,16 @@ def _suite(quick: bool):
             "end_to_end_wddb",
             "events/s",
             lambda: bench_end_to_end(10.0 if quick else 40.0),
+        ),
+        (
+            "signaling_loss0",
+            "admit/kmsg",
+            lambda: bench_signaling_overhead(10.0 if quick else 40.0, 0.0),
+        ),
+        (
+            "signaling_loss5",
+            "admit/kmsg",
+            lambda: bench_signaling_overhead(10.0 if quick else 40.0, 0.05),
         ),
     ]
 

@@ -14,7 +14,10 @@ paper's scheme is :class:`CounterRetrialPolicy`.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import TYPE_CHECKING, Optional, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.random_streams import RandomStream
 
 
 class RetrialPolicy(Protocol):
@@ -86,3 +89,88 @@ class NeverRetryPolicy:
 
     def __repr__(self) -> str:
         return "NeverRetryPolicy()"
+
+
+class ExponentialBackoff:
+    """Per-hop retransmission timeout schedule with optional jitter.
+
+    Destination *re-selection* (the policies above) decides whether to
+    try another group member after a failed reservation; this schedule
+    governs the orthogonal, lower layer: how long a signalling sender
+    waits for a per-hop acknowledgement before retransmitting the same
+    message over an unreliable channel.  The two compose — a request
+    may burn several retransmissions inside each reservation attempt
+    before the retrial policy redirects it.
+
+    The timeout for transmission ``attempt`` (0-based: the first
+    retransmission waits ``timeout(0)``) is::
+
+        min(initial_timeout_s * factor ** attempt, max_timeout_s)
+
+    optionally multiplied by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter)`` — the classic decorrelation trick so
+    retransmissions of concurrent sessions do not stay synchronized.
+    Jitter draws come from a dedicated :class:`RandomStream` so the
+    schedule is deterministic under a fixed seed and perturbs no other
+    stream (common random numbers).
+
+    Parameters
+    ----------
+    initial_timeout_s:
+        Timeout before the first retransmission.
+    factor:
+        Multiplier applied per retransmission (>= 1).
+    max_timeout_s:
+        Cap on the un-jittered timeout.
+    jitter:
+        Relative jitter amplitude in ``[0, 1)``; 0 disables jitter.
+    rng:
+        Random stream for jitter draws; required iff ``jitter > 0``.
+    """
+
+    def __init__(
+        self,
+        initial_timeout_s: float,
+        factor: float = 2.0,
+        max_timeout_s: float = float("inf"),
+        jitter: float = 0.0,
+        rng: Optional["RandomStream"] = None,
+    ) -> None:
+        if initial_timeout_s <= 0:
+            raise ValueError(
+                f"initial timeout must be positive, got {initial_timeout_s}"
+            )
+        if factor < 1.0:
+            raise ValueError(f"backoff factor must be >= 1, got {factor}")
+        if max_timeout_s < initial_timeout_s:
+            raise ValueError(
+                f"max timeout {max_timeout_s} below initial {initial_timeout_s}"
+            )
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise ValueError("jitter > 0 requires a random stream")
+        self.initial_timeout_s = initial_timeout_s
+        self.factor = factor
+        self.max_timeout_s = max_timeout_s
+        self.jitter = jitter
+        self._rng = rng
+
+    def timeout(self, attempt: int) -> float:
+        """Timeout (seconds) before retransmission number ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        base = self.initial_timeout_s * self.factor**attempt
+        if base > self.max_timeout_s:
+            base = self.max_timeout_s
+        if self.jitter > 0.0:
+            assert self._rng is not None  # enforced by the constructor
+            base *= 1.0 + self.jitter * (2.0 * self._rng.uniform() - 1.0)
+        return base
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialBackoff(initial={self.initial_timeout_s:g}, "
+            f"factor={self.factor:g}, max={self.max_timeout_s:g}, "
+            f"jitter={self.jitter:g})"
+        )

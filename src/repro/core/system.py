@@ -191,6 +191,33 @@ class AdmissionSystem:
         return f"AdmissionSystem({self.spec.label}, network={self.network.name!r})"
 
 
+def build_selector(
+    spec: SystemSpec,
+    context: SelectionContext,
+    bandwidth_view: Optional["SnapshotBandwidthView"] = None,
+) -> "DestinationSelector":
+    """The destination selector for one AC-router under ``spec``.
+
+    Explicit dispatch (rather than a class registry) so each
+    constructor is called with exactly the arguments it accepts.
+    Shared by :func:`build_system` and the signalled/chaos harnesses,
+    which assemble their routers around different reservation engines.
+    """
+    if spec.algorithm == "ED":
+        return EvenDistribution(context)
+    if spec.algorithm == "WD/D":
+        return DistanceWeighted(context)
+    if spec.algorithm == "WD/D+H":
+        return DistanceHistoryWeighted(context, alpha=spec.alpha)
+    if spec.algorithm == "WD/D+H+B":
+        return HybridWeighted(context, alpha=spec.alpha, view=bandwidth_view)
+    if spec.algorithm == "WD/D+B":
+        return DistanceBandwidthWeighted(context, view=bandwidth_view)
+    if spec.algorithm == "SP":
+        return ShortestPathSelector(context)
+    raise ValueError(f"no per-source selector for algorithm {spec.algorithm!r}")
+
+
 def build_system(
     spec: SystemSpec,
     network: Network,
@@ -246,21 +273,7 @@ def build_system(
     for source in sources:
         routes = RouteTable(network, source, group.members)
         context = SelectionContext(network=network, routes=routes, group=group)
-        # Explicit dispatch (rather than a class registry) so each
-        # constructor is called with exactly the arguments it accepts.
-        selector: "DestinationSelector"
-        if spec.algorithm == "ED":
-            selector = EvenDistribution(context)
-        elif spec.algorithm == "WD/D":
-            selector = DistanceWeighted(context)
-        elif spec.algorithm == "WD/D+H":
-            selector = DistanceHistoryWeighted(context, alpha=spec.alpha)
-        elif spec.algorithm == "WD/D+H+B":
-            selector = HybridWeighted(context, alpha=spec.alpha, view=bandwidth_view)
-        elif spec.algorithm == "WD/D+B":
-            selector = DistanceBandwidthWeighted(context, view=bandwidth_view)
-        else:  # SP (GDI returned above)
-            selector = ShortestPathSelector(context)
+        selector = build_selector(spec, context, bandwidth_view)
         retrials = 1 if spec.algorithm == "SP" else spec.retrials
         controllers[source] = ACRouter(
             network=network,

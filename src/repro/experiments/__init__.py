@@ -29,6 +29,14 @@ from repro.experiments.ablations import (
     retrial_limit_sweep,
     staleness_sweep,
 )
+from repro.experiments.chaos import (
+    ChaosConfig,
+    ChaosResult,
+    ChaosSimulation,
+    chaos_figure,
+    chaos_sweep,
+    run_chaos_point,
+)
 from repro.experiments.config import ExperimentConfig, paper_config, quick_config
 from repro.experiments.diagnostics import (
     CongestionReport,
@@ -47,6 +55,9 @@ from repro.experiments.runner import PointResult, SweepResult, run_point, sweep
 from repro.experiments.tables import TableResult, table1, table2
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosResult",
+    "ChaosSimulation",
     "ExperimentConfig",
     "FigureResult",
     "PointResult",
@@ -54,6 +65,8 @@ __all__ = [
     "CongestionReport",
     "TableResult",
     "alpha_sweep",
+    "chaos_figure",
+    "chaos_sweep",
     "compare_congestion",
     "congestion_report",
     "figure3",
@@ -67,6 +80,7 @@ __all__ = [
     "quick_config",
     "retrial_discipline",
     "retrial_limit_sweep",
+    "run_chaos_point",
     "run_point",
     "staleness_sweep",
     "sweep",

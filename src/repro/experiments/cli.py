@@ -68,11 +68,12 @@ def _build_parser() -> argparse.ArgumentParser:
             sorted(ALL_FIGURES)
             + sorted(ALL_TABLES)
             + sorted(ABLATION_TARGETS)
-            + ["all", "run"]
+            + ["chaos", "all", "run"]
         ),
         help=(
-            "which figure/table/ablation to regenerate, 'all' "
-            "(figures+tables), or a single 'run'"
+            "which figure/table/ablation to regenerate, 'chaos' (the "
+            "signalling-robustness sweep), 'all' (figures+tables), or "
+            "a single 'run'"
         ),
     )
     parser.add_argument(
@@ -158,6 +159,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     title=f"{description} @ lambda={args.rate:g}",
                 )
             )
+        elif target == "chaos":
+            # Not part of the paper's figure set (so excluded from
+            # 'all'): sweeps signalling loss rate with the unreliable
+            # plane enabled.  Imported lazily to keep the default
+            # targets free of the signalling stack.
+            from repro.experiments.chaos import chaos_figure
+
+            result = chaos_figure(config)
+            print(result.render())
+            if args.plot:
+                from repro.experiments.report import ascii_plot
+
+                print()
+                print(ascii_plot(list(result.x_values), result.series))
+            _export(result, target, args, kind="figure")
         elif target in ALL_FIGURES:
             result = ALL_FIGURES[target](config)
             print(result.render())

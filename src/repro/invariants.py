@@ -33,12 +33,15 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.network.link import Link
     from repro.network.topology import Network
+    from repro.signaling.softstate import LeaseTable
 
 __all__ = [
     "ENV_VAR",
     "InvariantViolation",
+    "check_drained",
     "check_link",
     "check_network",
+    "check_soft_state",
     "check_time_monotonic",
     "enabled",
     "is_enabled",
@@ -151,6 +154,45 @@ def check_network(network: "Network") -> None:
                     f"{link.source}->{link.target} but {previous!r} bps "
                     f"elsewhere: torn reserve/release"
                 )
+
+
+def check_soft_state(network: "Network", leases: "LeaseTable") -> None:
+    """Verify every reservation is covered by a lease.
+
+    The soft-state contract: bandwidth may only be held under a live
+    (or pending-collection) lease, so a lost Resv/Tear can orphan a
+    reservation for at most one TTL + sweep interval.  A reservation
+    with no covering lease would never be collected — a permanent
+    bandwidth leak — so the sweep asserts this before collecting.
+
+    Only meaningful when *all* reservations of ``network`` go through
+    the lease-tracking signalling layer; the chaos scenario satisfies
+    this by construction.
+    """
+    for link in network.links():
+        for flow_id in link._reservations:
+            if not leases.covers(flow_id, link):
+                raise InvariantViolation(
+                    f"link {link.source}->{link.target}: reservation "
+                    f"{flow_id!r} has no covering lease (leaked bandwidth)"
+                )
+
+
+def check_drained(network: "Network") -> None:
+    """Verify no bandwidth remains reserved after a full drain.
+
+    Called by scenarios that tear every flow down (or let the lease
+    collector expire the orphans) and then drain the event calendar:
+    any residual reservation means the robustness machinery leaked.
+    """
+    for link in network.links():
+        reserved = link.reserved_bps
+        if abs(reserved) > _tolerance(link.capacity_bps):
+            raise InvariantViolation(
+                f"link {link.source}->{link.target}: {reserved!r} bps "
+                f"still reserved after drain ({len(link._reservations)} "
+                f"ledger entries)"
+            )
 
 
 def check_time_monotonic(

@@ -13,7 +13,8 @@ rationale and examples):
 ``R2``
     No iteration over ``set``/``frozenset`` values (or direct
     ``dict.keys()`` iteration) in the determinism-critical modules
-    ``sim/``, ``core/`` and ``experiments/parallel.py``.  Sets may be
+    ``sim/``, ``core/``, ``signaling/`` and
+    ``experiments/parallel.py``.  Sets may be
     used for membership tests and order-insensitive reductions
     (``len``, ``sorted``, ``min``...), never as an iteration source.
 ``R3``
@@ -108,7 +109,7 @@ def rules_for_path(path: Union[str, PurePath]) -> set[str]:
     relative = parts[anchor + 1 :]
     rules = {"R1", "R3", "R4"}
     if relative:
-        if relative[0] in ("sim", "core") or relative == (
+        if relative[0] in ("sim", "core", "signaling") or relative == (
             "experiments",
             "parallel.py",
         ):

@@ -36,7 +36,7 @@ from typing import (
 )
 
 from repro.network.topology import Network
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.random_streams import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -222,6 +222,11 @@ class FaultInjector:
         self.cables = list(cables)
         self.failures_injected = 0
         self._stopped = False
+        # Each cable has at most one timer armed at a time (the next
+        # failure while up, the repair while down); tracked so stop()
+        # can cancel them instead of leaving dead events in the
+        # calendar.
+        self._pending: dict[LinkKey, Event] = {}
 
     def start(self) -> None:
         """Arm the first failure timer of every cable."""
@@ -230,20 +235,32 @@ class FaultInjector:
             self._schedule_failure(cable)
 
     def stop(self) -> None:
-        """Cease injecting: pending timers become no-ops.
+        """Cease injecting: pending fail/repair timers are cancelled.
 
         Without this, the injector's self-rescheduling timers keep the
         event calendar non-empty forever, so a caller that wants to
         drain remaining flow departures after the measurement horizon
         (``simulator.run()`` with no bound) would never return.
+        Cancellation removes the timers outright — after ``stop()``
+        the injector contributes nothing to ``pending_count`` and
+        injects no further transitions.  A cable that is down when
+        ``stop()`` is called *stays* down (its repair timer is
+        cancelled too); repair it explicitly via ``faults.repair`` if
+        the scenario needs the cable back.
         """
         self._stopped = True
+        for event in self._pending.values():
+            event.cancel()
+        self._pending.clear()
 
     def _schedule_failure(self, cable: LinkKey) -> None:
         delay = self.rng.exponential(self.mttf)
-        self.simulator.schedule(delay, lambda: self._fail(cable))
+        self._pending[cable] = self.simulator.schedule(
+            delay, lambda: self._fail(cable)
+        )
 
     def _fail(self, cable: LinkKey) -> None:
+        self._pending.pop(cable, None)
         if self._stopped:
             return
         u, v = cable
@@ -251,11 +268,12 @@ class FaultInjector:
         self.failures_injected += 1
         if self.on_fail is not None:
             self.on_fail(cable, killed)
-        self.simulator.schedule(
+        self._pending[cable] = self.simulator.schedule(
             self.rng.exponential(self.mttr), lambda: self._repair(cable)
         )
 
     def _repair(self, cable: LinkKey) -> None:
+        self._pending.pop(cable, None)
         u, v = cable
         self.faults.repair(u, v, now=self.simulator.now)
         if not self._stopped:

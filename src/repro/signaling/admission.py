@@ -53,6 +53,9 @@ class SignalledAdmissionResult:
     result: AdmissionResult
     latency_s: float
     messages: int
+    #: Reservation key the links were reserved under (robust mode uses
+    #: per-attempt keys; ``None`` means the plain flow id was used).
+    reservation_key: Optional[Hashable] = None
 
     @property
     def admitted(self) -> bool:
@@ -92,6 +95,11 @@ class SignalledACRouter:
         self.routes = RouteTable(network, source, group.members)
         self.requests_seen = 0
         self.requests_admitted = 0
+        # Robust mode reserves under per-attempt keys so the orphans
+        # of a timed-out attempt can never collide with (or be torn
+        # down by) a later attempt of the same flow.  This maps an
+        # admitted flow to the key its links are actually held under.
+        self._reservation_keys: dict[Hashable, Hashable] = {}
 
     def admit(
         self,
@@ -116,7 +124,10 @@ class SignalledACRouter:
             "tried": [],
             "excluded": set(),
             "messages": 0,
+            "key": None,
         }
+
+        robust = self.engine.robust
 
         def attempt() -> None:
             destination = self.selector.select(
@@ -125,9 +136,13 @@ class SignalledACRouter:
             state["attempts"] += 1
             state["tried"].append(destination)
             route = self.routes.route_to(destination)
+            key = (
+                (request.flow_id, state["attempts"]) if robust else request.flow_id
+            )
+            state["key"] = key
             self.engine.reserve(
                 route,
-                request.flow_id,
+                key,
                 request.bandwidth_bps,
                 lambda outcome: conclude_or_retry(destination, route, outcome),
             )
@@ -144,6 +159,7 @@ class SignalledACRouter:
                     admitted_at=self.simulator.now,
                     attempts=state["attempts"],
                 )
+                self._reservation_keys[request.flow_id] = state["key"]
                 finish(flow)
                 return
             state["excluded"].add(destination)
@@ -170,14 +186,20 @@ class SignalledACRouter:
                     result=result,
                     latency_s=self.simulator.now - started_at,
                     messages=state["messages"],
+                    reservation_key=state["key"] if flow is not None else None,
                 )
             )
 
         attempt()
 
+    def reservation_key_for(self, flow: AdmittedFlow) -> Hashable:
+        """The key ``flow``'s links are reserved under."""
+        return self._reservation_keys.get(flow.flow_id, flow.flow_id)
+
     def release(self, flow: AdmittedFlow) -> None:
         """Tear down an admitted flow (TEAR messages charged)."""
         if flow.released:
             return
-        self.engine.release(flow.path, flow.flow_id)
+        key = self._reservation_keys.pop(flow.flow_id, flow.flow_id)
+        self.engine.release(flow.path, key)
         flow.released = True

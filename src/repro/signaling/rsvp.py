@@ -19,6 +19,29 @@ Message counts and latency are recorded so the experiment harness can
 report the true signalling cost of retrials.  Admission probabilities
 are unaffected relative to the atomic engine except for rare races,
 which tests quantify.
+
+Robust mode
+-----------
+By default every transfer is delivered reliably and instantly trusted
+— the idealization the paper works in.  Passing a
+:class:`repro.signaling.channel.SignalingChannel`, a
+:class:`repro.signaling.channel.RetransmitPolicy` and/or a
+:class:`repro.signaling.softstate.LeaseTable` switches a session into
+*robust mode*:
+
+* each hop transfer is guarded by a timer; undelivered messages are
+  retransmitted with exponential backoff up to a cap, and receivers
+  deduplicate late or duplicated copies;
+* when a transfer exhausts its retransmissions the session gives up:
+  a PATH-phase loss behaves like a fail-fast PATH_ERR, a RESV-phase
+  loss additionally starts a TEAR sweeping downstream to release the
+  partial reservations — through the same unreliable channel, so a
+  lost TEAR leaves orphans (which the lease collector later reclaims);
+* every installed per-link reservation registers a soft-state lease.
+
+Defaults leave every legacy behaviour bit-identical: without channel,
+retransmit policy or lease table, a session performs exactly the same
+schedule calls and synchronous race rollback as before.
 """
 
 from __future__ import annotations
@@ -29,7 +52,9 @@ from typing import Callable, Hashable, Optional, Sequence
 from repro.network.link import InsufficientBandwidthError
 from repro.network.routing import Route
 from repro.network.topology import Network
-from repro.sim.engine import Simulator
+from repro.signaling.channel import RetransmitPolicy, SignalingChannel
+from repro.signaling.softstate import LeaseTable
+from repro.sim.engine import Event, Simulator
 
 FlowId = Hashable
 
@@ -50,11 +75,18 @@ class ReservationOutcome:
         Minimum available bandwidth observed by the RESV sweep
         (``inf`` if the PATH probe failed before turning around).
     messages:
-        Total messages transmitted (PATH + RESV + PATH_ERR hops).
+        Total messages transmitted (PATH + RESV + PATH_ERR hops,
+        including retransmissions; TEAR messages are counted by the
+        engine because teardown outlives the attempt).
     latency_s:
         Wall-clock simulated time from start to decision.
     failed_link:
         The ``(u, v)`` pair that refused, if any.
+    timed_out:
+        Whether the attempt failed because a hop transfer exhausted
+        its retransmissions (robust mode only).
+    retransmissions:
+        Retransmitted messages within the attempt (robust mode only).
     """
 
     success: bool
@@ -62,10 +94,108 @@ class ReservationOutcome:
     messages: int
     latency_s: float
     failed_link: Optional[tuple] = None
+    timed_out: bool = False
+    retransmissions: int = 0
+
+
+class _TearSweep:
+    """One TEAR propagating source → destination along a path.
+
+    Each delivered hop releases the upstream link it arrived over and
+    drops it from the flow's lease, then forwards the TEAR while the
+    next downstream link is still held.  The sweep travels through the
+    (possibly lossy) channel with *no* retransmission — RSVP tears are
+    unacknowledged — so a lost TEAR strands the remaining links until
+    their lease expires.
+    """
+
+    __slots__ = (
+        "_simulator",
+        "_network",
+        "_channel",
+        "_path",
+        "_flow_id",
+        "_processing_delay",
+        "_leases",
+        "_on_message",
+    )
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        channel: Optional[SignalingChannel],
+        path: Sequence,
+        flow_id: FlowId,
+        processing_delay_s: float,
+        leases: Optional[LeaseTable],
+        on_message: Callable[[], None],
+    ) -> None:
+        self._simulator = simulator
+        self._network = network
+        self._channel = channel
+        self._path = tuple(path)
+        self._flow_id = flow_id
+        self._processing_delay = processing_delay_s
+        self._leases = leases
+        self._on_message = on_message
+
+    def start_from(self, node_index: int) -> None:
+        """Begin the sweep at ``path[node_index]`` (holds no upstream leg)."""
+        self._forward(node_index)
+
+    def release_and_forward(self, node_index: int) -> None:
+        """Release the upstream link at ``path[node_index]``, then forward."""
+        path = self._path
+        link = self._network.link(path[node_index - 1], path[node_index])
+        link.release_if_held(self._flow_id)
+        if self._leases is not None:
+            self._leases.drop_link(self._flow_id, link)
+        self._forward(node_index)
+
+    def _forward(self, node_index: int) -> None:
+        path = self._path
+        if node_index >= len(path) - 1:
+            return
+        link = self._network.link(path[node_index], path[node_index + 1])
+        if not link.holds(self._flow_id):
+            # Nothing further downstream to tear (never installed, or
+            # already collected); the sweep ends here.
+            return
+        self._on_message()
+        delay = link.propagation_delay_s + self._processing_delay
+        deliver = lambda: self.release_and_forward(node_index + 1)  # noqa: E731
+        if self._channel is None:
+            self._simulator.schedule(delay, deliver)
+        else:
+            self._channel.send(delay, deliver)
 
 
 class RsvpSession:
-    """One PATH/RESV exchange for one flow over one route."""
+    """One PATH/RESV exchange for one flow over one route.
+
+    Parameters
+    ----------
+    simulator, network, route, flow_id, bandwidth_bps, on_complete:
+        As before; ``flow_id`` doubles as the reservation key on every
+        link (callers running retries over an unreliable plane pass a
+        per-attempt key so a timed-out attempt's orphans never collide
+        with a later attempt).
+    processing_delay_s:
+        Per-hop message processing time.
+    channel:
+        Optional unreliable delivery substrate.  A channel with loss
+        or duplication requires ``retransmit`` (timers provide both
+        recovery and receiver-side deduplication).
+    retransmit:
+        Optional per-hop timeout/retransmission policy.
+    leases:
+        Optional soft-state lease table; every installed per-link
+        reservation is registered under ``flow_id``.
+    on_tear_message:
+        Invoked once per TEAR transmission (teardown outlives the
+        attempt, so these are not in ``ReservationOutcome.messages``).
+    """
 
     def __init__(
         self,
@@ -76,9 +206,23 @@ class RsvpSession:
         bandwidth_bps: float,
         on_complete: Callable[[ReservationOutcome], None],
         processing_delay_s: float = DEFAULT_PROCESSING_DELAY_S,
+        channel: Optional[SignalingChannel] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
+        leases: Optional[LeaseTable] = None,
+        on_tear_message: Optional[Callable[[], None]] = None,
     ):
         if bandwidth_bps < 0:
             raise ValueError(f"bandwidth must be non-negative, got {bandwidth_bps}")
+        if (
+            channel is not None
+            and retransmit is None
+            and (channel.loss_rate > 0.0 or channel.duplicate_rate > 0.0)
+        ):
+            raise ValueError(
+                "a channel with loss or duplication requires a "
+                "RetransmitPolicy (timers recover losses and receivers "
+                "deduplicate copies)"
+            )
         self._simulator = simulator
         self._network = network
         self._route = route
@@ -86,7 +230,15 @@ class RsvpSession:
         self._bandwidth = bandwidth_bps
         self._on_complete = on_complete
         self._processing_delay = processing_delay_s
+        self._channel = channel
+        self._retransmit = retransmit
+        self._leases = leases
+        self._on_tear_message = on_tear_message
+        self._robust = (
+            channel is not None or retransmit is not None or leases is not None
+        )
         self._messages = 0
+        self._retransmissions = 0
         self._started_at = simulator.now
         self._reserved_links: list = []
 
@@ -99,6 +251,69 @@ class RsvpSession:
             self._finish(success=True, bottleneck=float("inf"))
             return
         self._advance_path(hop_index=0)
+
+    # ------------------------------------------------------------------
+    # transfer primitive: one hop, reliable or guarded by timers
+    # ------------------------------------------------------------------
+    def _send(self, delay_s: float, deliver: Callable[[], None]) -> None:
+        if self._channel is None:
+            self._simulator.schedule(delay_s, deliver)
+        else:
+            self._channel.send(delay_s, deliver)
+
+    def _transfer(
+        self,
+        delay_s: float,
+        deliver: Callable[[], None],
+        on_lost: Callable[[], None],
+    ) -> None:
+        """Move one message across one hop.
+
+        Without a retransmit policy this is a single (possibly lossy)
+        transmission.  With one, the sender arms a backoff timer per
+        transmission and retransmits until delivery or the cap;
+        ``on_lost`` fires when the cap is exhausted.  The receiver
+        side deduplicates, so duplicated or straggling copies cannot
+        advance the protocol twice.
+        """
+        self._messages += 1
+        policy = self._retransmit
+        if policy is None:
+            self._send(delay_s, deliver)
+            return
+        state = {"done": False, "tries": 0}
+        timer_box: list[Optional[Event]] = [None]
+
+        def arrive() -> None:
+            if state["done"]:
+                return  # duplicate or late copy
+            state["done"] = True
+            timer = timer_box[0]
+            if timer is not None:
+                timer.cancel()
+                timer_box[0] = None
+            deliver()
+
+        def timed_out() -> None:
+            if state["done"]:
+                return
+            if state["tries"] >= policy.max_retransmits:
+                # Give up; suppress any straggler copies still in flight.
+                state["done"] = True
+                on_lost()
+                return
+            state["tries"] += 1
+            self._messages += 1
+            self._retransmissions += 1
+            transmit()
+
+        def transmit() -> None:
+            timer_box[0] = self._simulator.schedule(
+                policy.timeout(state["tries"]), timed_out
+            )
+            self._send(delay_s, arrive)
+
+        transmit()
 
     # ------------------------------------------------------------------
     # PATH phase: source -> destination, advisory checks
@@ -116,17 +331,26 @@ class RsvpSession:
                 failed_link=(link.source, link.target),
             )
             return
-        self._messages += 1
         delay = link.propagation_delay_s + self._processing_delay
         if hop_index + 1 == len(path) - 1:
             # PATH reached the destination: turn around as RESV.
-            self._simulator.schedule(
-                delay, lambda: self._advance_resv(len(path) - 1, float("inf"))
+            deliver = lambda: self._advance_resv(  # noqa: E731
+                len(path) - 1, float("inf")
             )
         else:
-            self._simulator.schedule(
-                delay, lambda: self._advance_path(hop_index + 1)
-            )
+            deliver = lambda: self._advance_path(hop_index + 1)  # noqa: E731
+        self._transfer(delay, deliver, lambda: self._path_lost(hop_index))
+
+    def _path_lost(self, hop_index: int) -> None:
+        """The PATH transfer out of ``path[hop_index]`` exhausted retries."""
+        path = self._route.path
+        self._messages += hop_index  # PATH_ERR retraces hop_index links
+        self._finish(
+            success=False,
+            bottleneck=float("inf"),
+            failed_link=(path[hop_index], path[hop_index + 1]),
+            timed_out=True,
+        )
 
     # ------------------------------------------------------------------
     # RESV phase: destination -> source, actual reservation
@@ -141,8 +365,22 @@ class RsvpSession:
         try:
             link.reserve(self._flow_id, self._bandwidth)
         except InsufficientBandwidthError:
-            # Race lost: roll back what this session already reserved
-            # and charge PATH_ERR messages back to the source.
+            if self._robust:
+                # Race lost mid-sweep: tear the downstream partial
+                # reservations hop by hop (the TEAR itself may be
+                # lost; leases then cover the orphans) and charge
+                # PATH_ERR messages back to the source.
+                self._messages += node_index
+                if self._reserved_links:
+                    self._reserved_links.clear()
+                    self._start_tear().start_from(node_index)
+                self._finish(
+                    success=False,
+                    bottleneck=bottleneck,
+                    failed_link=(link.source, link.target),
+                )
+                return
+            # Legacy mode: roll back synchronously.
             for reserved in self._reserved_links:
                 reserved.release(self._flow_id)
             self._reserved_links.clear()
@@ -154,11 +392,44 @@ class RsvpSession:
             )
             return
         self._reserved_links.append(link)
+        if self._leases is not None:
+            self._leases.register(self._flow_id, link)
         bottleneck = min(bottleneck, available_before)
-        self._messages += 1
         delay = link.propagation_delay_s + self._processing_delay
-        self._simulator.schedule(
-            delay, lambda: self._advance_resv(node_index - 1, bottleneck)
+        self._transfer(
+            delay,
+            lambda: self._advance_resv(node_index - 1, bottleneck),
+            lambda: self._resv_lost(node_index, bottleneck),
+        )
+
+    def _resv_lost(self, node_index: int, bottleneck: float) -> None:
+        """The RESV transfer out of ``path[node_index]`` exhausted retries.
+
+        The node releases its own upstream leg immediately (it knows
+        the exchange is dead) and tears the rest downstream; the
+        source-side outcome is a timed-out failure.
+        """
+        self._reserved_links.clear()
+        self._start_tear().release_and_forward(node_index)
+        path = self._route.path
+        self._finish(
+            success=False,
+            bottleneck=bottleneck,
+            failed_link=(path[node_index - 1], path[node_index]),
+            timed_out=True,
+        )
+
+    def _start_tear(self) -> _TearSweep:
+        on_message = self._on_tear_message
+        return _TearSweep(
+            self._simulator,
+            self._network,
+            self._channel,
+            self._route.path,
+            self._flow_id,
+            self._processing_delay,
+            self._leases,
+            on_message if on_message is not None else lambda: None,
         )
 
     # ------------------------------------------------------------------
@@ -167,6 +438,7 @@ class RsvpSession:
         success: bool,
         bottleneck: float,
         failed_link: Optional[tuple] = None,
+        timed_out: bool = False,
     ) -> None:
         outcome = ReservationOutcome(
             success=success,
@@ -174,6 +446,8 @@ class RsvpSession:
             messages=self._messages,
             latency_s=self._simulator.now - self._started_at,
             failed_link=failed_link,
+            timed_out=timed_out,
+            retransmissions=self._retransmissions,
         )
         self._on_complete(outcome)
 
@@ -186,6 +460,11 @@ class SignalledReservationEngine:
     check-and-reserve semantics, but the decision arrives after the
     round-trip signalling delay, and message/latency totals accumulate
     for overhead reporting.
+
+    Passing ``channel``/``retransmit``/``leases`` puts every session
+    in robust mode (see the module docstring); releases then travel as
+    hop-by-hop TEAR sweeps through the channel instead of the legacy
+    synchronous ``release_path``.
     """
 
     def __init__(
@@ -193,14 +472,39 @@ class SignalledReservationEngine:
         simulator: Simulator,
         network: Network,
         processing_delay_s: float = DEFAULT_PROCESSING_DELAY_S,
+        channel: Optional[SignalingChannel] = None,
+        retransmit: Optional[RetransmitPolicy] = None,
+        leases: Optional[LeaseTable] = None,
     ):
         self.simulator = simulator
         self.network = network
         self.processing_delay_s = processing_delay_s
+        self.channel = channel
+        self.retransmit = retransmit
+        self.leases = leases
         self.attempts = 0
         self.failures = 0
         self.total_messages = 0
         self.total_latency_s = 0.0
+        #: retransmitted messages across all attempts (robust mode)
+        self.total_retransmissions = 0
+        #: attempts abandoned because a hop exhausted its retries
+        self.timeouts = 0
+        #: TEAR transmissions (teardowns outlive their attempts)
+        self.tear_messages = 0
+
+    @property
+    def robust(self) -> bool:
+        """Whether sessions run with robustness machinery attached."""
+        return (
+            self.channel is not None
+            or self.retransmit is not None
+            or self.leases is not None
+        )
+
+    def _count_tear_message(self) -> None:
+        self.total_messages += 1
+        self.tear_messages += 1
 
     def reserve(
         self,
@@ -209,7 +513,12 @@ class SignalledReservationEngine:
         bandwidth_bps: float,
         on_complete: Callable[[ReservationOutcome], None],
     ) -> None:
-        """Start a reservation attempt; ``on_complete`` fires later."""
+        """Start a reservation attempt; ``on_complete`` fires later.
+
+        ``flow_id`` is the reservation key on every link; robust-mode
+        callers pass a per-attempt key (see
+        :class:`repro.signaling.admission.SignalledACRouter`).
+        """
         self.attempts += 1
 
         def record_and_forward(outcome: ReservationOutcome) -> None:
@@ -217,6 +526,9 @@ class SignalledReservationEngine:
                 self.failures += 1
             self.total_messages += outcome.messages
             self.total_latency_s += outcome.latency_s
+            self.total_retransmissions += outcome.retransmissions
+            if outcome.timed_out:
+                self.timeouts += 1
             on_complete(outcome)
 
         session = RsvpSession(
@@ -227,13 +539,35 @@ class SignalledReservationEngine:
             bandwidth_bps,
             record_and_forward,
             processing_delay_s=self.processing_delay_s,
+            channel=self.channel,
+            retransmit=self.retransmit,
+            leases=self.leases,
+            on_tear_message=self._count_tear_message,
         )
         session.start()
 
     def release(self, path: Sequence, flow_id: FlowId) -> None:
-        """Tear down a reservation; TEAR messages are charged."""
-        self.network.release_path(path, flow_id)
-        self.total_messages += max(0, len(path) - 1)
+        """Tear down a reservation; TEAR messages are charged.
+
+        Legacy mode releases synchronously (the idealized instant
+        teardown).  Robust mode launches a hop-by-hop TEAR sweep
+        through the channel: each delivered hop releases its leg, and
+        a lost TEAR strands the rest for the lease collector.
+        """
+        if not self.robust:
+            self.network.release_path(path, flow_id)
+            self.total_messages += max(0, len(path) - 1)
+            return
+        _TearSweep(
+            self.simulator,
+            self.network,
+            self.channel,
+            path,
+            flow_id,
+            self.processing_delay_s,
+            self.leases,
+            self._count_tear_message,
+        ).start_from(0)
 
     @property
     def mean_latency_s(self) -> float:

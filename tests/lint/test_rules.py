@@ -151,6 +151,12 @@ class TestPathScoping:
     def test_parallel_runner_is_order_critical(self):
         assert "R2" in rules_for_path("src/repro/experiments/parallel.py")
 
+    def test_signaling_modules_are_order_critical(self):
+        assert rules_for_path("src/repro/signaling/rsvp.py") == {
+            "R1", "R2", "R3", "R4",
+        }
+        assert "R2" in rules_for_path("src/repro/signaling/softstate.py")
+
     def test_other_experiments_modules_skip_r2(self):
         assert "R2" not in rules_for_path("src/repro/experiments/runner.py")
 

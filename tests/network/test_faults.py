@@ -193,3 +193,102 @@ class TestInjectorStop:
         before = injector.failures_injected
         simulator.run()
         assert injector.failures_injected == before
+
+
+class TestIdempotentRelease:
+    """Regression: fail -> repair -> late release must be a no-op replay.
+
+    A flow killed by a fault has already lost its reservations on the
+    failed cable (and, via the kill callback, everywhere else).  The
+    flow's departure timer still fires later and calls release again;
+    that late release must not raise and must not disturb bandwidth
+    reserved since (e.g. by flows admitted after the repair).
+    """
+
+    ROUTE = Route(source=0, destination=3, path=(0, 1, 2, 3))
+
+    def test_fail_repair_then_late_release(self, network):
+        faults = FaultState(network)
+        engine = FaultAwareReservationEngine(network, faults)
+        assert engine.try_reserve(self.ROUTE, "victim", 64_000.0)
+
+        killed = faults.fail(1, 2)
+        assert killed == ["victim"]
+        # The kill callback's end-to-end teardown (idempotent by path).
+        engine.release(self.ROUTE.path, "victim")
+        faults.repair(1, 2)
+
+        # A new flow reuses the capacity after the repair.
+        assert engine.try_reserve(self.ROUTE, "survivor", 64_000.0)
+        reserved_before = network.total_reserved_bps()
+
+        # The victim's departure fires long after fail/repair: both the
+        # second and an accidental third release must be no-ops.
+        engine.release(self.ROUTE.path, "victim")
+        engine.release(self.ROUTE.path, "victim")
+        assert network.total_reserved_bps() == reserved_before
+        for u, v in zip(self.ROUTE.path, self.ROUTE.path[1:]):
+            assert network.link(u, v).holds("survivor")
+            assert not network.link(u, v).holds("victim")
+
+    def test_release_after_partial_fault_teardown(self, network):
+        faults = FaultState(network)
+        engine = FaultAwareReservationEngine(network, faults)
+        assert engine.try_reserve(self.ROUTE, "f", 64_000.0)
+        # The fault only strips the failed cable's own reservations...
+        faults.fail(2, 3)
+        assert network.link(0, 1).holds("f")
+        # ...so release must clean the survivors and skip the rest.
+        engine.release(self.ROUTE.path, "f")
+        engine.release(self.ROUTE.path, "f")  # idempotent replay
+        assert network.total_reserved_bps() == 0.0
+
+
+class TestInjectorStopCancels:
+    def _injector(self, seed):
+        network = mci_backbone()
+        faults = FaultState(network)
+        simulator = Simulator()
+        injector = FaultInjector(
+            simulator,
+            faults,
+            StreamFactory(seed).stream("faults"),
+            mean_time_to_failure_s=10.0,
+            mean_time_to_repair_s=5.0,
+        )
+        return simulator, injector
+
+    def test_stop_cancels_pending_timers(self):
+        simulator, injector = self._injector(5)
+        injector.start()
+        simulator.run(until=30.0)
+        assert simulator.pending_count > 0
+        injector.stop()
+        # Cancellation empties the calendar immediately -- no need to
+        # run the clock forward through dead timers.
+        assert simulator.pending_count == 0
+        assert simulator.peek() is None
+
+    def test_stop_freezes_fault_state(self):
+        simulator, injector = self._injector(6)
+        injector.start()
+        simulator.run(until=50.0)
+        injector.stop()
+        down_before = injector.faults.down_cables()
+        transitions_before = len(injector.faults.events)
+        simulator.run()
+        assert injector.faults.down_cables() == down_before
+        assert len(injector.faults.events) == transitions_before
+
+    def test_restart_after_stop(self):
+        simulator, injector = self._injector(7)
+        injector.start()
+        simulator.run(until=50.0)
+        injector.stop()
+        injector.start()  # re-arm: injection resumes
+        before = injector.failures_injected
+        simulator.run(until=200.0)
+        assert injector.failures_injected > before
+        injector.stop()
+        simulator.run()
+        assert simulator.peek() is None

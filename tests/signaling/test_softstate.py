@@ -1,0 +1,136 @@
+"""Unit tests for soft-state leases (repro.signaling.softstate)."""
+
+import pytest
+
+from repro import invariants
+from repro.network.topologies import line
+from repro.signaling.softstate import LeaseTable
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def network():
+    return line(4, capacity_bps=10 * 64_000.0)
+
+
+def table(simulator, network, ttl=10.0, sweep=2.0):
+    return LeaseTable(simulator, network, ttl_s=ttl, sweep_interval_s=sweep)
+
+
+class TestLeaseLifecycle:
+    def test_register_and_cover(self, simulator, network):
+        leases = table(simulator, network)
+        link = network.link(0, 1)
+        leases.register("f", link)
+        assert leases.covers("f", link)
+        assert not leases.covers("f", network.link(1, 2))
+        assert leases.live_leases() == 1
+
+    def test_refresh_extends(self, simulator, network):
+        leases = table(simulator, network, ttl=10.0, sweep=6.0)
+        link = network.link(0, 1)
+        link.reserve("f", 64_000.0)
+        leases.register("f", link)
+        # Keep refreshing past several TTLs: never collected.
+        for _ in range(5):
+            simulator.run(until=simulator.now + 5.0)
+            assert leases.refresh("f")
+        assert link.holds("f")
+        assert leases.orphans_collected == 0
+
+    def test_refresh_unknown_key(self, simulator, network):
+        assert not table(simulator, network).refresh("ghost")
+
+    def test_drop_link_removes_empty_lease(self, simulator, network):
+        leases = table(simulator, network)
+        a, b = network.link(0, 1), network.link(1, 2)
+        leases.register("f", a)
+        leases.register("f", b)
+        leases.drop_link("f", a)
+        assert not leases.covers("f", a)
+        assert leases.covers("f", b)
+        leases.drop_link("f", b)
+        assert leases.live_leases() == 0
+
+
+class TestOrphanCollection:
+    def test_expired_lease_is_released(self, simulator, network):
+        leases = table(simulator, network, ttl=10.0, sweep=2.0)
+        for u, v in ((0, 1), (1, 2)):
+            link = network.link(u, v)
+            link.reserve("orphan", 64_000.0)
+            leases.register("orphan", link)
+        simulator.run(until=15.0)
+        assert leases.orphans_collected == 1
+        assert leases.reclaimed_bps == pytest.approx(2 * 64_000.0)
+        assert network.total_reserved_bps() == 0.0
+
+    def test_live_lease_survives_sweeps(self, simulator, network):
+        leases = table(simulator, network, ttl=100.0, sweep=2.0)
+        link = network.link(0, 1)
+        link.reserve("f", 64_000.0)
+        leases.register("f", link)
+        simulator.run(until=50.0)
+        assert link.holds("f")
+        assert leases.orphans_collected == 0
+
+    def test_collection_tolerates_already_released(self, simulator, network):
+        """A fault/tear may free a leg before the lease expires."""
+        leases = table(simulator, network, ttl=5.0, sweep=2.0)
+        link = network.link(0, 1)
+        link.reserve("f", 64_000.0)
+        leases.register("f", link)
+        link.release("f")  # someone else got there first
+        simulator.run(until=10.0)
+        assert leases.orphans_collected == 1
+        assert leases.reclaimed_bps == 0.0
+
+    def test_sweep_self_quiesces(self, simulator, network):
+        leases = table(simulator, network, ttl=5.0, sweep=2.0)
+        link = network.link(0, 1)
+        link.reserve("f", 64_000.0)
+        leases.register("f", link)
+        simulator.run()  # unbounded drain must terminate
+        assert simulator.peek() is None
+        assert leases.orphans_collected == 1
+        # A new registration re-arms the sweep.
+        link.reserve("g", 64_000.0)
+        leases.register("g", link)
+        assert simulator.pending_count == 1
+        simulator.run()
+        assert simulator.peek() is None
+        assert network.total_reserved_bps() == 0.0
+
+
+class TestSoftStateInvariant:
+    def test_sweep_checks_coverage_when_armed(self, simulator, network):
+        was_enabled = invariants.enabled
+        invariants.set_enabled(True)
+        try:
+            leases = table(simulator, network, ttl=5.0, sweep=2.0)
+            link = network.link(0, 1)
+            link.reserve("covered", 64_000.0)
+            leases.register("covered", link)
+            # A reservation the lease table never heard about: leaked.
+            network.link(1, 2).reserve("rogue", 64_000.0)
+            with pytest.raises(invariants.InvariantViolation):
+                simulator.run(until=3.0)
+        finally:
+            invariants.set_enabled(was_enabled)
+
+    def test_check_drained_flags_residue(self, network):
+        network.link(0, 1).reserve("left-over", 64_000.0)
+        with pytest.raises(invariants.InvariantViolation):
+            invariants.check_drained(network)
+        network.link(0, 1).release("left-over")
+        invariants.check_drained(network)  # clean now
+
+
+class TestValidation:
+    def test_bad_ttl(self, simulator, network):
+        with pytest.raises(ValueError):
+            LeaseTable(simulator, network, ttl_s=0.0, sweep_interval_s=1.0)
+
+    def test_bad_sweep(self, simulator, network):
+        with pytest.raises(ValueError):
+            LeaseTable(simulator, network, ttl_s=1.0, sweep_interval_s=0.0)
