@@ -39,6 +39,7 @@ from repro.analysis.erlang import erlang_b
 from repro.analysis.fixedpoint import (
     BlockingFunction,
     FixedPointSolution,
+    LinkKey,
     ReducedLoadSolver,
     RouteLoad,
 )
@@ -84,9 +85,9 @@ class AnalysisResult:
 
     admission_probability: float
     mean_attempts: float
-    per_source_ap: dict
-    link_blocking: dict
-    route_rejection: dict
+    per_source_ap: dict[NodeId, float]
+    link_blocking: dict[LinkKey, float]
+    route_rejection: dict[tuple[NodeId, NodeId], float]
     fixed_point_iterations: int
     outer_iterations: int
     converged: bool
@@ -101,7 +102,7 @@ class _TrialModel:
     ``mean_attempts``: expected number of tries.
     """
 
-    attempt_probability: tuple
+    attempt_probability: tuple[float, ...]
     admission_probability: float
     mean_attempts: float
 
@@ -137,7 +138,9 @@ def _sequential_trial_model(
     admitted = 0.0
     mean_attempts = 0.0
 
-    def recurse(tried: tuple, reach_probability: float, depth: int) -> None:
+    def recurse(
+        tried: tuple[int, ...], reach_probability: float, depth: int
+    ) -> None:
         nonlocal admitted, mean_attempts
         if reach_probability <= 0.0:
             return
@@ -291,10 +294,10 @@ def analyze_system(
             damping=damping,
         )
         solution = solver.solve()
-        new_rejections = {}
+        new_rejections: dict[NodeId, list[float]] = {}
         delta = 0.0
         for source, table in route_tables.items():
-            per_member = []
+            per_member: list[float] = []
             for route in table.routes():
                 links = tuple(zip(route.path, route.path[1:]))
                 per_member.append(solution.route_rejection(links))
@@ -319,8 +322,8 @@ def analyze_system(
     total_rate = 0.0
     admitted_rate = 0.0
     attempts_rate = 0.0
-    per_source_ap = {}
-    route_rejection = {}
+    per_source_ap: dict[NodeId, float] = {}
+    route_rejection: dict[tuple[NodeId, NodeId], float] = {}
     for source in workload.sources:
         model = trial_models[source]
         rate = workload.per_source_rate

@@ -27,14 +27,14 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Hashable, Mapping, Sequence
+from typing import Any, Callable, Hashable, Mapping, Sequence
 
 from repro.analysis.erlang import erlang_b
 
 try:  # numpy accelerates solve_grid; everything works without it
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy is present in CI
-    _np = None
+    _np = None  # type: ignore[assignment]
 
 LinkKey = Hashable
 #: signature of the link blocking function L(load_erlangs, capacity)
@@ -55,10 +55,10 @@ class RouteLoad:
         Offered intensity ``rho_r = lambda_r / mu`` on this route.
     """
 
-    links: tuple
+    links: tuple[LinkKey, ...]
     load_erlangs: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.load_erlangs < 0:
             raise ValueError(
                 f"route load must be non-negative, got {self.load_erlangs}"
@@ -83,8 +83,8 @@ class FixedPointSolution:
         Whether the max-norm change fell below the tolerance.
     """
 
-    link_blocking: dict
-    link_load: dict
+    link_blocking: dict[LinkKey, float]
+    link_load: dict[LinkKey, float]
     iterations: int
     converged: bool
 
@@ -131,7 +131,7 @@ class ReducedLoadSolver:
         damping: float = 0.5,
         tolerance: float = 1e-10,
         max_iterations: int = 10_000,
-    ):
+    ) -> None:
         if not 0 < damping <= 1:
             raise ValueError(f"damping must be in (0, 1], got {damping}")
         if tolerance <= 0:
@@ -157,7 +157,9 @@ class ReducedLoadSolver:
             for link in route.links:
                 self._routes_by_link[link].append(route)
 
-    def _thinned_loads(self, blocking: Mapping[LinkKey, float]) -> dict:
+    def _thinned_loads(
+        self, blocking: Mapping[LinkKey, float]
+    ) -> dict[LinkKey, float]:
         """Evaluate eq. 18 for every link given current blocking."""
         loads: dict[LinkKey, float] = {}
         for link, routes in self._routes_by_link.items():
@@ -189,7 +191,7 @@ class ReducedLoadSolver:
         iterations = 0
         converged = False
         for iterations in range(1, self.max_iterations + 1):
-            new_blocking = {}
+            new_blocking: dict[LinkKey, float] = {}
             for link, capacity in self.capacities.items():
                 raw = self.blocking_function(loads[link], capacity)
                 new_blocking[link] = (
@@ -308,7 +310,7 @@ class ReducedLoadSolver:
         # (routes, 1, points): every route's offered load per column.
         offered_grid = (offered[:, None] * scale_row)[:, None, :]
 
-        def thinned(blocking):
+        def thinned(blocking: Any) -> Any:
             """Eq. 18 for every link and grid column at once."""
             if not routed:
                 return _np.zeros((n_links, n_points))
@@ -325,11 +327,14 @@ class ReducedLoadSolver:
             return loads[:n_links]
 
         if self.blocking_function is erlang_b:
-            apply_blocking = lambda loads: _erlang_b_columns(loads, capacities)
+
+            def apply_blocking(loads: Any) -> Any:
+                return _erlang_b_columns(loads, capacities)
+
         else:
             fn = self.blocking_function
 
-            def apply_blocking(loads):
+            def apply_blocking(loads: Any) -> Any:
                 raw = _np.empty_like(loads)
                 for i in range(n_links):
                     capacity = self.capacities[links[i]]
@@ -365,7 +370,7 @@ class ReducedLoadSolver:
                 RuntimeWarning,
                 stacklevel=3,
             )
-        solutions = []
+        solutions: list[FixedPointSolution] = []
         for g in range(n_points):
             solutions.append(
                 FixedPointSolution(
@@ -383,7 +388,7 @@ class ReducedLoadSolver:
         return solutions
 
 
-def _erlang_b_columns(loads, capacities):
+def _erlang_b_columns(loads: Any, capacities: Any) -> Any:
     """Vectorized Erlang-B over a ``links x points`` load matrix.
 
     Runs the stable recursion ``B_c = v B / (c + v B)`` to the largest

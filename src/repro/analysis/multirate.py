@@ -44,7 +44,7 @@ class TrafficClass:
     slots: int
     name: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.load_erlangs < 0:
             raise ValueError(
                 f"class load must be non-negative, got {self.load_erlangs}"
@@ -91,7 +91,7 @@ def class_blocking(
     Returned in the order of ``classes``.
     """
     distribution = occupancy_distribution(capacity, classes)
-    blocking = []
+    blocking: list[float] = []
     for cls in classes:
         threshold = capacity - cls.slots
         blocked = math.fsum(
@@ -126,8 +126,8 @@ class MultirateLinkReport:
     """
 
     capacity: int
-    classes: tuple
-    blocking: tuple
+    classes: tuple[TrafficClass, ...]
+    blocking: tuple[float, ...]
     utilization: float
 
 

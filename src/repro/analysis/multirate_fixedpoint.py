@@ -53,12 +53,12 @@ class ClassedRouteLoad:
         Label for per-class reporting.
     """
 
-    links: tuple
+    links: tuple[LinkKey, ...]
     load_erlangs: float
     slots: int
     class_name: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.load_erlangs < 0:
             raise ValueError(
                 f"route load must be non-negative, got {self.load_erlangs}"
@@ -83,7 +83,7 @@ class MultirateFixedPointSolution:
         Whether the max-norm change met the tolerance.
     """
 
-    link_class_blocking: dict
+    link_class_blocking: dict[LinkKey, dict[str, float]]
     iterations: int
     converged: bool
 
@@ -117,7 +117,7 @@ class MultirateReducedLoadSolver:
         damping: float = 0.5,
         tolerance: float = 1e-9,
         max_iterations: int = 10_000,
-    ):
+    ) -> None:
         if not 0 < damping <= 1:
             raise ValueError(f"damping must be in (0, 1], got {damping}")
         if tolerance <= 0:
@@ -148,7 +148,9 @@ class MultirateReducedLoadSolver:
             for link in route.links:
                 self._routes_by_link[link].append(route)
 
-    def _thinned_loads(self, blocking: dict) -> dict:
+    def _thinned_loads(
+        self, blocking: Mapping[LinkKey, Mapping[str, float]]
+    ) -> dict[LinkKey, dict[str, float]]:
         """Per-link, per-class thinned loads under current blocking."""
         loads: dict[LinkKey, dict[str, float]] = {}
         for link, routes in self._routes_by_link.items():
@@ -172,7 +174,7 @@ class MultirateReducedLoadSolver:
         converged = False
         for iterations in range(1, self.max_iterations + 1):
             loads = self._thinned_loads(blocking)
-            new_blocking: dict = {}
+            new_blocking: dict[LinkKey, dict[str, float]] = {}
             delta = 0.0
             for link, capacity in self.capacities.items():
                 classes = [
@@ -184,7 +186,7 @@ class MultirateReducedLoadSolver:
                     for name in self.class_names
                 ]
                 raw = class_blocking(capacity, classes)
-                per_class = {}
+                per_class: dict[str, float] = {}
                 for name, value in zip(self.class_names, raw):
                     mixed = (
                         self.damping * value

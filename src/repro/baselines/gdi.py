@@ -40,7 +40,7 @@ class GDIController:
     either interchangeably.
     """
 
-    def __init__(self, network: Network, group: AnycastGroup):
+    def __init__(self, network: Network, group: AnycastGroup) -> None:
         self.network = network
         self.group = group
         self.requests_seen = 0
@@ -61,7 +61,7 @@ class GDIController:
         decided_at = request.arrival_time if now is None else now
         self.requests_seen += 1
         self.total_attempts += 1
-        best_path: Optional[list] = None
+        best_path: Optional[list[NodeId]] = None
         for member in self.group.members:
             path = feasible_path(
                 self.network, request.source, member, request.bandwidth_bps

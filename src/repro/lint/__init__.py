@@ -1,23 +1,34 @@
-"""Project determinism linter: ``python -m repro.lint [paths...]``.
+"""Project static analysis: ``python -m repro.lint [paths...]``.
 
-A small AST-based static-analysis pass enforcing the determinism
-contract of this reproduction (rules R1-R4; see
-:mod:`repro.lint.rules` and CONTRIBUTING.md).  Zero dependencies
-beyond the standard library, so it runs anywhere the package does.
+Two layers share one driver (see CONTRIBUTING.md):
 
-Output is one ``path:line:col: CODE message`` line per finding; the
-process exits 0 when the tree is clean and 1 otherwise.  A finding is
-silenced for one line with a trailing ``# repro-lint: disable=RX``
-comment (comma-separate codes to disable several).
+* rules R1-R4 — per-file AST determinism rules
+  (:mod:`repro.lint.rules`);
+* rules R5-R7 — flow-sensitive analyses over the CFG/dataflow engine
+  (:mod:`repro.lint.flowrules`), with a project-wide call graph
+  (:mod:`repro.lint.callgraph`) behind R7.
+
+Findings print as ``path:line:col: CODE message`` (``--format text``,
+optionally with ``--show-source`` snippets), as a JSON array
+(``--format json``), or as SARIF 2.1.0 (``--format sarif``) for CI
+annotation upload.  ``--select``/``--ignore`` narrow the rule set
+(both intersect with per-path scoping; an unknown code is a usage
+error).  ``--baseline FILE`` hides grandfathered findings recorded
+with ``--update-baseline``.  Exit codes: 0 clean, 1 findings, 2 usage
+error.  A finding is silenced for one line with a trailing
+``# repro-lint: disable=RX`` comment (comma-separate codes).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
 
+from repro.lint.callgraph import CallGraph, build_callgraph
+from repro.lint.flowrules import FLOW_RULES, check_flow_source
 from repro.lint.rules import (
     ALL_RULES,
     Violation,
@@ -30,6 +41,7 @@ __all__ = [
     "ALL_RULES",
     "Violation",
     "check_source",
+    "check_flow_source",
     "lint_file",
     "lint_paths",
     "main",
@@ -39,12 +51,18 @@ __all__ = [
 
 
 def lint_file(
-    path: Union[str, Path], source: Optional[str] = None
+    path: Union[str, Path],
+    source: Optional[str] = None,
+    rules: Optional[set[str]] = None,
+    graph: Optional[CallGraph] = None,
 ) -> list[Violation]:
     """Lint one file (reading it unless ``source`` is given)."""
     if source is None:
         source = Path(path).read_text(encoding="utf-8")
-    return check_source(source, path)
+    found = check_source(source, path, rules=rules)
+    found.extend(check_flow_source(source, path, rules=rules, graph=graph))
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return found
 
 
 def _collect_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
@@ -58,19 +76,244 @@ def _collect_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
     return files
 
 
-def lint_paths(paths: Iterable[Union[str, Path]]) -> list[Violation]:
-    """Lint files and directory trees; returns all findings, sorted."""
+def _effective_rules(
+    path: Union[str, Path],
+    select: Optional[set[str]],
+    ignore: Optional[set[str]],
+) -> set[str]:
+    rules = rules_for_path(str(path))
+    if select is not None:
+        rules &= select
+    if ignore is not None:
+        rules -= ignore
+    return rules
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    select: Optional[set[str]] = None,
+    ignore: Optional[set[str]] = None,
+    callgraph_cache: Optional[Union[str, Path]] = None,
+) -> list[Violation]:
+    """Lint files and directory trees; returns all findings, sorted.
+
+    ``select``/``ignore`` intersect with per-path rule scoping.  When
+    any linted file needs R7, a call graph spanning every collected
+    file is built once (or loaded from ``callgraph_cache`` when its
+    per-file digests still match) and shared.
+    """
+    files = _collect_files(paths)
+    sources: dict[str, str] = {}
+    per_file_rules: dict[str, set[str]] = {}
+    for file_path in files:
+        key = str(file_path)
+        sources[key] = Path(file_path).read_text(encoding="utf-8")
+        per_file_rules[key] = _effective_rules(file_path, select, ignore)
+
+    graph: Optional[CallGraph] = None
+    if any("R7" in rules for rules in per_file_rules.values()):
+        graph = _load_or_build_graph(sources, callgraph_cache)
+
     violations: list[Violation] = []
-    for file_path in _collect_files(paths):
-        violations.extend(lint_file(file_path))
+    for file_path in files:
+        key = str(file_path)
+        violations.extend(
+            lint_file(
+                file_path,
+                source=sources[key],
+                rules=per_file_rules[key],
+                graph=graph,
+            )
+        )
     return violations
 
 
+def _load_or_build_graph(
+    sources: dict[str, str], cache_path: Optional[Union[str, Path]]
+) -> CallGraph:
+    if cache_path is not None:
+        cache = Path(cache_path)
+        if cache.exists():
+            try:
+                payload = json.loads(cache.read_text(encoding="utf-8"))
+                cached = CallGraph.from_payload(payload)
+                if cached.matches_sources(sources):
+                    return cached
+            except (ValueError, KeyError, TypeError):
+                pass  # stale or corrupt cache: rebuild below
+    graph = build_callgraph(sources)
+    if cache_path is not None:
+        Path(cache_path).write_text(
+            json.dumps(graph.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# baseline (grandfathered findings)
+# ---------------------------------------------------------------------------
+def _fingerprint(violation: Violation) -> dict:
+    return {
+        "path": Path(violation.path).as_posix(),
+        "line": violation.line,
+        "rule": violation.rule,
+    }
+
+
+def load_baseline(path: Union[str, Path]) -> set[tuple[str, int, str]]:
+    """The grandfathered-finding fingerprints recorded in ``path``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return {
+        (entry["path"], entry["line"], entry["rule"])
+        for entry in payload.get("findings", ())
+    }
+
+
+def write_baseline(
+    path: Union[str, Path], violations: Sequence[Violation]
+) -> None:
+    """Record ``violations`` as the new grandfathered baseline."""
+    entries = sorted(
+        (_fingerprint(violation) for violation in violations),
+        key=lambda entry: (entry["path"], entry["line"], entry["rule"]),
+    )
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def _apply_baseline(
+    violations: list[Violation], known: set[tuple[str, int, str]]
+) -> tuple[list[Violation], int]:
+    kept: list[Violation] = []
+    hidden = 0
+    for violation in violations:
+        key = (Path(violation.path).as_posix(), violation.line, violation.rule)
+        if key in known:
+            hidden += 1
+        else:
+            kept.append(violation)
+    return kept, hidden
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+def _render_text(violations: Sequence[Violation], show_source: bool) -> str:
+    lines: list[str] = []
+    file_cache: dict[str, list[str]] = {}
+    for violation in violations:
+        lines.append(violation.format())
+        if not show_source:
+            continue
+        if violation.path not in file_cache:
+            try:
+                file_cache[violation.path] = Path(violation.path).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except OSError:
+                file_cache[violation.path] = []
+        source_lines = file_cache[violation.path]
+        if 1 <= violation.line <= len(source_lines):
+            snippet = source_lines[violation.line - 1]
+            lines.append(f"    {snippet}")
+            lines.append(f"    {' ' * violation.col}^")
+    return "\n".join(lines)
+
+
+def _render_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule,
+                "message": violation.message,
+            }
+            for violation in violations
+        ],
+        indent=2,
+    )
+
+
+def _render_sarif(violations: Sequence[Violation]) -> str:
+    rule_ids = sorted({violation.rule for violation in violations} | set(ALL_RULES))
+    sarif = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": ALL_RULES.get(rule_id, rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": violation.rule,
+                        "level": "error",
+                        "message": {"text": violation.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": Path(violation.path).as_posix()
+                                    },
+                                    "region": {
+                                        "startLine": violation.line,
+                                        "startColumn": violation.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for violation in violations
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def _parse_rule_codes(raw: str, flag: str) -> set[str]:
+    codes = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    unknown = codes - set(ALL_RULES)
+    if unknown:
+        raise _UsageError(
+            f"{flag}: unknown rule code(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(ALL_RULES))})"
+        )
+    return codes
+
+
+class _UsageError(Exception):
+    pass
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code (0/1/2)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Determinism linter for the repro package (rules R1-R4).",
+        description="Static analysis for the repro package (rules R1-R7).",
     )
     parser.add_argument(
         "paths",
@@ -83,24 +326,108 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule codes and exit",
     )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (intersects path scoping)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        dest="output_format",
+        help="finding output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-source",
+        action="store_true",
+        help="print the offending source line under each text finding",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to hide",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--callgraph-cache",
+        metavar="FILE",
+        help="cache the R7 call graph here (reused while file digests match)",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
         for code in sorted(ALL_RULES):
             print(f"{code}  {ALL_RULES[code]}")
         return 0
+    try:
+        select = (
+            _parse_rule_codes(args.select, "--select") if args.select else None
+        )
+        ignore = (
+            _parse_rule_codes(args.ignore, "--ignore") if args.ignore else None
+        )
+        if args.update_baseline and not args.baseline:
+            raise _UsageError("--update-baseline requires --baseline FILE")
+    except _UsageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
         for path in missing:
             print(f"error: no such file or directory: {path}", file=sys.stderr)
         return 2
-    violations = lint_paths(args.paths)
-    for violation in violations:
-        print(violation.format())
-    if violations:
+
+    violations = lint_paths(
+        args.paths,
+        select=select,
+        ignore=ignore,
+        callgraph_cache=args.callgraph_cache,
+    )
+
+    if args.update_baseline:
+        write_baseline(args.baseline, violations)
         print(
-            f"repro-lint: {len(violations)} violation"
-            f"{'s' if len(violations) != 1 else ''} found",
+            f"repro-lint: baseline updated with {len(violations)} finding"
+            f"{'s' if len(violations) != 1 else ''}",
             file=sys.stderr,
         )
+        return 0
+
+    hidden = 0
+    if args.baseline and Path(args.baseline).exists():
+        violations, hidden = _apply_baseline(
+            violations, load_baseline(args.baseline)
+        )
+
+    if args.output_format == "json":
+        print(_render_json(violations))
+    elif args.output_format == "sarif":
+        print(_render_sarif(violations))
+    elif violations:
+        print(_render_text(violations, args.show_source))
+
+    if violations:
+        summary = (
+            f"repro-lint: {len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''} found"
+        )
+        if hidden:
+            summary += f" ({hidden} baselined finding{'s' if hidden != 1 else ''} hidden)"
+        print(summary, file=sys.stderr)
         return 1
+    if hidden:
+        print(
+            f"repro-lint: clean ({hidden} baselined finding"
+            f"{'s' if hidden != 1 else ''} hidden)",
+            file=sys.stderr,
+        )
     return 0

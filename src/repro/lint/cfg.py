@@ -1,0 +1,522 @@
+"""Intraprocedural control-flow graphs with exception-edge modeling.
+
+The flow-sensitive rules (R5-R7, :mod:`repro.lint.flowrules`) need to
+reason about *paths* through a function — including the paths the test
+suite never executes: the ``raise`` branch of a rollback, the early
+return inside a retry loop, the ``finally`` that runs on both the
+normal and the exceptional way out.  This module builds that graph
+from the AST.
+
+Design
+------
+* **One statement per block.**  Every block anchors at most one
+  ``ast.stmt``; synthetic blocks (entry, exit, joins) anchor none.
+  Statement granularity keeps the dataflow transfer functions trivial
+  and makes "the exception edge carries the pre-state" exact.
+* **Two exits.**  ``exit`` collects normal completions (``return`` and
+  fall-through, distinguished by edge kind); ``raise_exit`` collects
+  exceptions that escape the function.  A leak that only exists on an
+  exception path shows up as reachability of ``raise_exit`` with bad
+  state.
+* **Exception edges are selective.**  A statement gets an edge to the
+  active exception target only when it plausibly raises: it contains a
+  ``raise``/``assert`` or a call to something outside the small
+  known-non-raising set (:data:`NON_RAISING_CALLS`).  Giving *every*
+  statement an exception edge would drown the reservation analysis in
+  impossible paths through ``x = 0``-style statements.
+* **``finally`` bodies are duplicated per continuation.**  A
+  ``try/finally`` routes each way out of the try (normal completion,
+  escaping exception, ``return``, ``break``, ``continue``) through its
+  own copy of the finally body, so the dataflow never merges the
+  post-finally state of a returning path into a fall-through path.
+  Finally bodies in this codebase are tiny; the duplication is cheap
+  and buys path precision.
+* **Handler matching is over-approximated.**  A raising statement gets
+  an edge to *every* handler of the enclosing ``try`` and — unless some
+  handler is catch-all (bare ``except``, ``except Exception`` /
+  ``BaseException``) — an edge onward to the outer target too.
+
+``with`` bodies are modeled as plain sequences whose exceptions
+propagate (context managers that *suppress* exceptions are not
+modeled; none of the analyzed code relies on suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Union
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Edge",
+    "EXCEPTION",
+    "FALLTHROUGH",
+    "NORMAL",
+    "RETURN",
+    "NON_RAISING_CALLS",
+    "build_cfg",
+    "statement_can_raise",
+]
+
+# Edge kinds.  The dataflow engine only distinguishes EXCEPTION (which
+# carries the pre-state of the source statement) from everything else;
+# the rest are kept distinct for reporting and tests.
+NORMAL = "normal"
+TRUE = "true"
+FALSE = "false"
+LOOP = "loop"
+EXCEPTION = "exception"
+RETURN = "return"
+FALLTHROUGH = "fallthrough"
+BREAK = "break"
+CONTINUE = "continue"
+
+#: Call targets (by terminal name) assumed never to raise in practice.
+#: Deliberately small: container/builtin plumbing plus the two
+#: bookkeeping calls of the reservation protocol whose failure modes
+#: are not leak-relevant.  Everything else gets an exception edge.
+NON_RAISING_CALLS = frozenset(
+    {
+        "append",
+        "extend",
+        "add",
+        "discard",
+        "clear",
+        "items",
+        "values",
+        "get",
+        "keys",
+        "len",
+        "abs",
+        "bool",
+        "float",
+        "int",
+        "str",
+        "repr",
+        "format",
+        "isinstance",
+        "hasattr",
+        "range",
+        "zip",
+        "enumerate",
+        "print",
+        "id",
+        "holds",
+        # Lease bookkeeping: `leases.register(key, link)` is itself the
+        # leak *mitigation*; modeling a raise inside it would flag
+        # every registration site.
+        "register",
+        "drop_link",
+        "refresh",
+        "cancel",
+    }
+)
+
+FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class Edge:
+    """A directed control-flow edge with a kind label."""
+
+    __slots__ = ("target", "kind")
+
+    def __init__(self, target: "Block", kind: str) -> None:
+        self.target = target
+        self.kind = kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Edge(->{self.target.id}, {self.kind})"
+
+
+class Block:
+    """A CFG node anchoring at most one statement."""
+
+    __slots__ = ("id", "stmt", "label", "succ", "loop_depth")
+
+    def __init__(
+        self,
+        block_id: int,
+        stmt: Optional[ast.stmt] = None,
+        label: str = "",
+        loop_depth: int = 0,
+    ) -> None:
+        self.id = block_id
+        self.stmt = stmt
+        self.label = label
+        self.succ: list[Edge] = []
+        self.loop_depth = loop_depth
+
+    def edge_to(self, target: "Block", kind: str = NORMAL) -> None:
+        """Append an edge, skipping exact duplicates."""
+        for edge in self.succ:
+            if edge.target is target and edge.kind == kind:
+                return
+        self.succ.append(Edge(target, kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = ast.dump(self.stmt)[:30] if self.stmt is not None else self.label
+        return f"Block({self.id}, {what})"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, name: str, lineno: int) -> None:
+        self.name = name
+        self.lineno = lineno
+        self.blocks: list[Block] = []
+        self.entry = self.new_block(label="entry")
+        self.exit = self.new_block(label="exit")
+        self.raise_exit = self.new_block(label="raise_exit")
+
+    def new_block(
+        self, stmt: Optional[ast.stmt] = None, label: str = "", loop_depth: int = 0
+    ) -> Block:
+        """Allocate a block registered with this graph."""
+        block = Block(len(self.blocks), stmt, label, loop_depth)
+        self.blocks.append(block)
+        return block
+
+    def statement_blocks(self) -> list[Block]:
+        """Blocks anchoring a real statement, in allocation order."""
+        return [block for block in self.blocks if block.stmt is not None]
+
+
+def _call_may_raise(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr not in NON_RAISING_CALLS
+    if isinstance(func, ast.Name):
+        return func.id not in NON_RAISING_CALLS
+    return True  # computed callee: assume it can raise
+
+
+def statement_can_raise(stmt: ast.stmt) -> bool:
+    """Whether ``stmt`` gets an edge to the active exception target.
+
+    ``raise`` and ``assert`` always can; otherwise the statement can
+    raise iff it contains a call to something outside
+    :data:`NON_RAISING_CALLS`.  Nested function bodies do not count —
+    defining a closure raises nothing.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A def/lambda *statement* only binds the function object;
+            # its body runs later.  ast.walk has no pruning, so this
+            # coarse check skips whole nested defs when the nested def
+            # IS the statement; for calls nested deeper we accept the
+            # over-approximation.
+            if node is stmt or getattr(stmt, "value", None) is node:
+                return False
+        if isinstance(node, ast.Call) and _call_may_raise(node):
+            return True
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction with continuation stacks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # Where an escaping exception goes (innermost first).
+        self.raise_target: Block = cfg.raise_exit
+        # Where `return` goes (intercepted by try/finally).
+        self.return_target: Block = cfg.exit
+        # (continue_target, break_target) per enclosing loop.
+        self.loop_stack: list[tuple[Block, Block]] = []
+        self.loop_depth = 0
+
+    # -- plumbing ------------------------------------------------------
+    def _block(self, stmt: Optional[ast.stmt] = None, label: str = "") -> Block:
+        return self.cfg.new_block(stmt, label, loop_depth=self.loop_depth)
+
+    def _add_raise_edge(self, block: Block) -> None:
+        block.edge_to(self.raise_target, EXCEPTION)
+
+    # -- statement sequencing ------------------------------------------
+    def build_body(self, stmts: list[ast.stmt], current: Block) -> Optional[Block]:
+        """Wire ``stmts`` starting after ``current``.
+
+        Returns the block control falls out of, or ``None`` when every
+        path diverts (returns, raises, breaks...).
+        """
+        cursor: Optional[Block] = current
+        for stmt in stmts:
+            if cursor is None:
+                break  # unreachable code after a diverting statement
+            cursor = self.build_stmt(stmt, cursor)
+        return cursor
+
+    def build_stmt(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        handler = getattr(self, f"_build_{type(stmt).__name__}", None)
+        if handler is not None:
+            result: Optional[Block] = handler(stmt, current)
+            return result
+        return self._build_simple(stmt, current)
+
+    # -- simple statements ---------------------------------------------
+    def _build_simple(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        if statement_can_raise(stmt):
+            self._add_raise_edge(block)
+        return block
+
+    def _build_Return(self, stmt: ast.Return, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        if stmt.value is not None and statement_can_raise(stmt):
+            self._add_raise_edge(block)
+        block.edge_to(self.return_target, RETURN)
+        return None
+
+    def _build_Raise(self, stmt: ast.Raise, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        block.edge_to(self.raise_target, EXCEPTION)
+        return None
+
+    def _build_Break(self, stmt: ast.Break, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        if self.loop_stack:
+            block.edge_to(self.loop_stack[-1][1], BREAK)
+        return None
+
+    def _build_Continue(self, stmt: ast.Continue, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        if self.loop_stack:
+            block.edge_to(self.loop_stack[-1][0], CONTINUE)
+        return None
+
+    def _build_Assert(self, stmt: ast.Assert, current: Block) -> Optional[Block]:
+        block = self._block(stmt)
+        current.edge_to(block)
+        self._add_raise_edge(block)
+        return block
+
+    # -- branches ------------------------------------------------------
+    def _build_If(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        test_block = self._block(stmt, label="if")
+        current.edge_to(test_block)
+        if statement_can_raise(ast.Expr(value=stmt.test)):
+            self._add_raise_edge(test_block)
+        after = self._block(label="after-if")
+        then_end = self.build_body(stmt.body, test_block)
+        if then_end is not None:
+            then_end.edge_to(after, TRUE)
+        if stmt.orelse:
+            else_end = self.build_body(stmt.orelse, test_block)
+            if else_end is not None:
+                else_end.edge_to(after, FALSE)
+        else:
+            test_block.edge_to(after, FALSE)
+        # Mark branch entries with distinct kinds for readability.
+        self._relabel_branch_edges(test_block, stmt)
+        if not after.succ and not self._has_preds(after):
+            return None
+        return after
+
+    def _relabel_branch_edges(self, test_block: Block, stmt: ast.If) -> None:
+        body_first = {id(s) for s in stmt.body[:1]}
+        else_first = {id(s) for s in stmt.orelse[:1]}
+        for edge in test_block.succ:
+            anchor = edge.target.stmt
+            if anchor is not None and edge.kind == NORMAL:
+                if id(anchor) in body_first:
+                    edge.kind = TRUE
+                elif id(anchor) in else_first:
+                    edge.kind = FALSE
+
+    def _has_preds(self, target: Block) -> bool:
+        return any(
+            edge.target is target
+            for block in self.cfg.blocks
+            for edge in block.succ
+        )
+
+    # -- loops ---------------------------------------------------------
+    def _build_loop(
+        self, stmt: Union[ast.For, ast.While, ast.AsyncFor], current: Block
+    ) -> Optional[Block]:
+        header = self._block(stmt, label="loop-header")
+        current.edge_to(header)
+        if statement_can_raise(stmt_header_probe(stmt)):
+            self._add_raise_edge(header)
+        after = self._block(label="after-loop")
+        self.loop_stack.append((header, after))
+        self.loop_depth += 1
+        body_end = self.build_body(stmt.body, header)
+        self.loop_depth -= 1
+        self.loop_stack.pop()
+        if body_end is not None:
+            body_end.edge_to(header, LOOP)
+        if stmt.orelse:
+            else_end = self.build_body(stmt.orelse, header)
+            if else_end is not None:
+                else_end.edge_to(after, FALSE)
+        else:
+            header.edge_to(after, FALSE)
+        return after
+
+    _build_For = _build_loop
+    _build_AsyncFor = _build_loop
+    _build_While = _build_loop
+
+    # -- with ----------------------------------------------------------
+    def _build_With(
+        self, stmt: Union[ast.With, ast.AsyncWith], current: Block
+    ) -> Optional[Block]:
+        enter = self._block(stmt, label="with")
+        current.edge_to(enter)
+        self._add_raise_edge(enter)  # the context expression may raise
+        return self.build_body(stmt.body, enter)
+
+    _build_AsyncWith = _build_With
+
+    # -- try/except/else/finally ---------------------------------------
+    def _build_Try(self, stmt: ast.Try, current: Block) -> Optional[Block]:
+        outer_raise = self.raise_target
+        outer_return = self.return_target
+        outer_loop = self.loop_stack[-1] if self.loop_stack else None
+
+        after = self._block(label="after-try")
+
+        def finally_copy(continuation: Block, kind: str) -> Block:
+            """A fresh copy of the finally body flowing to ``continuation``."""
+            if not stmt.finalbody:
+                return continuation
+            entry = self._block(label=f"finally-{kind}")
+            end = self.build_body(stmt.finalbody, entry)
+            if end is not None:
+                # Completing the finally body is *normal* execution even
+                # on the exceptional copy (the re-raise happens after),
+                # so the edge must carry the post-state, not the
+                # exception pre-state — hence never kind EXCEPTION here.
+                end.edge_to(continuation, NORMAL if kind == EXCEPTION else kind)
+            return entry
+
+        # Continuations as seen from inside the try body: every way out
+        # is routed through its own finally copy.
+        raise_cont = finally_copy(outer_raise, EXCEPTION)
+        return_cont = finally_copy(outer_return, RETURN)
+        if outer_loop is not None and stmt.finalbody:
+            loop_cont = (
+                finally_copy(outer_loop[0], CONTINUE),
+                finally_copy(outer_loop[1], BREAK),
+            )
+        else:
+            loop_cont = outer_loop
+        normal_cont = finally_copy(after, NORMAL)
+
+        # Handler entry dispatch: raising statements in the try body
+        # route here, then into every handler (match is static-unknown)
+        # and — without a catch-all — onward through finally to outer.
+        handler_entries: list[Block] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            if handler.type is None or _is_catch_all(handler.type):
+                catch_all = True
+
+        if stmt.handlers:
+            dispatch = self._block(label="except-dispatch")
+        else:
+            dispatch = raise_cont
+
+        # Body of the try: exceptions go to the dispatch point.
+        self.raise_target = dispatch
+        self.return_target = return_cont if stmt.finalbody else outer_return
+        if loop_cont is not None and stmt.finalbody:
+            self.loop_stack.append(loop_cont)
+        body_end = self.build_body(stmt.body, current)
+        if loop_cont is not None and stmt.finalbody:
+            self.loop_stack.pop()
+        self.raise_target = outer_raise
+        self.return_target = outer_return
+
+        # else clause runs after normal body completion, with ordinary
+        # (outer) exception routing but finally interception kept.
+        if body_end is not None:
+            tail: Optional[Block] = body_end
+            if stmt.orelse:
+                self.raise_target = raise_cont
+                self.return_target = return_cont if stmt.finalbody else outer_return
+                tail = self.build_body(stmt.orelse, body_end)
+                self.raise_target = outer_raise
+                self.return_target = outer_return
+            if tail is not None:
+                tail.edge_to(normal_cont)
+
+        # Handlers: exceptions inside a handler escape through finally.
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                entry = self._block(label="except")
+                handler_entries.append(entry)
+                dispatch.edge_to(entry, EXCEPTION)
+                self.raise_target = raise_cont
+                self.return_target = return_cont if stmt.finalbody else outer_return
+                if loop_cont is not None and stmt.finalbody:
+                    self.loop_stack.append(loop_cont)
+                handler_end = self.build_body(handler.body, entry)
+                if loop_cont is not None and stmt.finalbody:
+                    self.loop_stack.pop()
+                self.raise_target = outer_raise
+                self.return_target = outer_return
+                if handler_end is not None:
+                    handler_end.edge_to(normal_cont)
+            if not catch_all:
+                dispatch.edge_to(raise_cont, EXCEPTION)
+
+        if not self._has_preds(after):
+            return None
+        return after
+
+
+def _is_catch_all(annotation: ast.expr) -> bool:
+    names = set()
+    if isinstance(annotation, ast.Tuple):
+        items = annotation.elts
+    else:
+        items = [annotation]
+    for item in items:
+        if isinstance(item, ast.Name):
+            names.add(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.add(item.attr)
+    return bool(names & {"Exception", "BaseException"})
+
+
+def stmt_header_probe(stmt: Union[ast.For, ast.While, ast.AsyncFor]) -> ast.stmt:
+    """The header expression of a loop, wrapped for can-raise probing."""
+    if isinstance(stmt, ast.While):
+        return ast.Expr(value=stmt.test)
+    return ast.Expr(value=stmt.iter)
+
+
+def build_cfg(func: FuncDef) -> CFG:
+    """Build the CFG of one function definition."""
+    cfg = CFG(func.name, func.lineno)
+    builder = _Builder(cfg)
+    end = builder.build_body(func.body, cfg.entry)
+    if end is not None:
+        end.edge_to(cfg.exit, FALLTHROUGH)
+    return cfg
+
+
+def iter_function_defs(tree: ast.AST) -> list[FuncDef]:
+    """Every function/method definition in ``tree``, outermost first.
+
+    Nested definitions are returned as their own entries (they get
+    their own CFGs); the enclosing function's CFG treats the nested
+    ``def`` as one non-raising statement.
+    """
+    found: list[FuncDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append(node)
+    found.sort(key=lambda node: (node.lineno, node.col_offset))
+    return found

@@ -1,0 +1,125 @@
+"""A worklist dataflow engine over :mod:`repro.lint.cfg` graphs.
+
+Forward analyses plug in by subclassing :class:`ForwardAnalysis`:
+define the initial state, a join, and a per-statement transfer
+function; :func:`run_forward` iterates edges to a fixed point with a
+deterministic worklist (block-id order, no set iteration) and returns
+the state observed at every block entry and at the two exits.
+
+Exception edges are the one piece of built-in semantics: an edge of
+kind :data:`repro.lint.cfg.EXCEPTION` out of a statement propagates
+:meth:`ForwardAnalysis.transfer_exception` — by default the statement's
+*pre*-state, because an exception raised inside a call happens before
+the call's effect commits.  That is exactly what makes the reservation
+analysis (R5) see "``link.reserve`` raised, so nothing is held" on the
+``except`` path (it overrides the hook to also commit releases, whose
+failure mode — KeyError, not held — kills the token either way).
+
+States must be hashable-free plain values supporting ``==``; analyses
+here use ``frozenset``s.  The engine bounds iteration at
+``max_passes * len(blocks)`` edge relaxations as a belt-and-braces
+guard against a non-monotone transfer function (it raises rather than
+spins).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from repro.lint.cfg import CFG, EXCEPTION, Block
+
+__all__ = ["DataflowResult", "ForwardAnalysis", "run_forward"]
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class for forward dataflow analyses.
+
+    Subclasses override :meth:`initial`, :meth:`join` and
+    :meth:`transfer`; :meth:`transfer_exception` defaults to returning
+    the pre-state.
+    """
+
+    def initial(self) -> S:
+        """State at function entry."""
+        raise NotImplementedError
+
+    def join(self, left: S, right: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def transfer(self, block: Block, state: S) -> S:
+        """State after ``block``'s statement executes normally."""
+        raise NotImplementedError
+
+    def transfer_exception(self, block: Block, state: S) -> S:
+        """State carried by ``block``'s exception edge (default: pre)."""
+        return state
+
+
+class DataflowResult(Generic[S]):
+    """Fixed-point states, queryable per block."""
+
+    def __init__(self, cfg: CFG, states: dict[int, S]) -> None:
+        self._cfg = cfg
+        self._states = states
+
+    def state_at(self, block: Block) -> Optional[S]:
+        """The join of all states reaching ``block`` (None = unreachable)."""
+        return self._states.get(block.id)
+
+    @property
+    def exit_state(self) -> Optional[S]:
+        """State at the normal exit (returns and fall-through)."""
+        return self.state_at(self._cfg.exit)
+
+    @property
+    def raise_state(self) -> Optional[S]:
+        """State at the exceptional exit (escaping exceptions)."""
+        return self.state_at(self._cfg.raise_exit)
+
+
+def run_forward(
+    cfg: CFG, analysis: ForwardAnalysis[S], max_passes: int = 64
+) -> DataflowResult[S]:
+    """Iterate ``analysis`` over ``cfg`` to a fixed point."""
+    states: dict[int, S] = {cfg.entry.id: analysis.initial()}
+    # Deterministic worklist: a FIFO of block ids with a membership
+    # list (not a set — the linter's own determinism rules apply to
+    # the linter).
+    worklist: list[int] = [cfg.entry.id]
+    queued = [False] * len(cfg.blocks)
+    queued[cfg.entry.id] = True
+    by_id = {block.id: block for block in cfg.blocks}
+    budget = max_passes * max(1, len(cfg.blocks)) * max(
+        1, sum(len(block.succ) for block in cfg.blocks)
+    )
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > budget:
+            raise RuntimeError(
+                f"dataflow did not converge on {cfg.name!r} "
+                f"(non-monotone transfer function?)"
+            )
+        block = by_id[worklist.pop(0)]
+        queued[block.id] = False
+        in_state = states[block.id]
+        if block.stmt is not None:
+            out_normal = analysis.transfer(block, in_state)
+            out_exception = analysis.transfer_exception(block, in_state)
+        else:
+            out_normal = in_state
+            out_exception = in_state
+        for edge in block.succ:
+            carried = out_exception if edge.kind == EXCEPTION else out_normal
+            target = edge.target
+            previous = states.get(target.id)
+            merged = carried if previous is None else analysis.join(previous, carried)
+            if previous is None or merged != previous:
+                states[target.id] = merged
+                if not queued[target.id]:
+                    worklist.append(target.id)
+                    queued[target.id] = True
+    return DataflowResult(cfg, states)

@@ -52,11 +52,19 @@ __all__ = [
 ]
 
 #: Rule code -> one-line description (shown by ``--list-rules``).
+#: R1-R4 are per-file AST rules implemented here; R5-R7 are the
+#: flow-sensitive rules of :mod:`repro.lint.flowrules`, built on the
+#: CFG/dataflow engine.
 ALL_RULES: dict[str, str] = {
     "R1": "unseeded randomness or wall-clock time; use sim.random_streams",
     "R2": "iteration over an unordered set in a determinism-critical module",
     "R3": "direct LinkStateArrays column write outside network/",
     "R4": "==/!= comparison on simulation timestamps",
+    "R5": "reservation acquired on some path without release/lease hand-off",
+    "R6": "signaling-handler discipline: injected streams, Link API, "
+    "monotone relative delays",
+    "R7": "impure callable (module state / unseeded rng) crosses the "
+    "multiprocessing pool boundary",
 }
 
 
@@ -116,6 +124,17 @@ def rules_for_path(path: Union[str, PurePath]) -> set[str]:
             rules.add("R2")
         if relative[0] == "network":
             rules.discard("R3")
+        # Flow-sensitive rules, scoped to the modules whose invariants
+        # they encode (see repro.lint.flowrules).
+        if relative[0] in ("network", "signaling") or relative == (
+            "core",
+            "admission.py",
+        ):
+            rules.add("R5")
+        if relative in (("signaling", "rsvp.py"), ("signaling", "channel.py")):
+            rules.add("R6")
+        if relative == ("experiments", "parallel.py"):
+            rules.add("R7")
     if relative == ("sim", "random_streams.py"):
         rules.discard("R1")
     return rules

@@ -108,7 +108,9 @@ class FaultState:
             if self.network.has_link(a, b):
                 link = self.network.link(a, b)
                 for flow_id in list(link.flows()):
-                    link.release(flow_id)
+                    # Iterating a snapshot of this link's own ledger:
+                    # every flow in it is held here, release cannot raise.
+                    link.release(flow_id)  # repro-lint: disable=R5
                     killed.append(flow_id)
         self.events.append(
             FaultEvent(time=now, link=(u, v), failed=True, killed_flows=tuple(killed))

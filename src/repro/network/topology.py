@@ -10,7 +10,7 @@ its direction of travel.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterator, Sequence
+from typing import Any, Hashable, Iterator, Optional, Sequence
 
 from repro import invariants as _invariants
 from repro.network.link import ADMIT_EPSILON_BPS, Link, LinkStateArrays
@@ -209,7 +209,9 @@ class Network:
         for link in links:
             if flow_id in link._reservations:
                 for position in range(granted):
-                    links[position].release(flow_id)
+                    # Rolling back legs this very call just granted:
+                    # each definitely holds flow_id, release cannot raise.
+                    links[position].release(flow_id)  # repro-lint: disable=R5
                 raise ValueError(
                     f"flow {flow_id!r} already reserved on link "
                     f"{link.source}->{link.target}"
@@ -221,7 +223,8 @@ class Network:
             ):
                 link.rejections += 1
                 for position in range(granted):
-                    links[position].release(flow_id)
+                    # Same as above: releasing just-granted legs only.
+                    links[position].release(flow_id)  # repro-lint: disable=R5
                 return False
             link._reservations[flow_id] = amount
             reserved[index] += amount
@@ -233,9 +236,24 @@ class Network:
         return True
 
     def release_path(self, path: Sequence[NodeId], flow_id: FlowId) -> None:
-        """Release the flow's reservation on every link of ``path``."""
+        """Release the flow's reservation on every link of ``path``.
+
+        Raises ``KeyError`` if any leg held no reservation — but only
+        after releasing every leg that did: a strict hop-by-hop sweep
+        would abort at the first missing leg (fault teardown, lease
+        GC) and strand the bandwidth reserved on the links after it.
+        """
+        missing: Optional[Link] = None
         for link in self.path_links(path):
-            link.release(flow_id)
+            if link.holds(flow_id):
+                link.release(flow_id)
+            elif missing is None:
+                missing = link
+        if missing is not None:
+            raise KeyError(
+                f"flow {flow_id!r} held no reservation on link "
+                f"{missing.source}->{missing.target}"
+            )
 
     def total_reserved_bps(self) -> float:
         """Sum of reservations over all directed links."""

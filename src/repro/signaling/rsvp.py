@@ -380,9 +380,13 @@ class RsvpSession:
                     failed_link=(link.source, link.target),
                 )
                 return
-            # Legacy mode: roll back synchronously.
+            # Legacy mode: roll back synchronously.  A fault may have
+            # collected one of our legs while the RESV sweep was in
+            # flight, so the rollback must tolerate already-released
+            # links — a strict release would KeyError mid-sweep and
+            # strand every leg after the hole.
             for reserved in self._reserved_links:
-                reserved.release(self._flow_id)
+                reserved.release_if_held(self._flow_id)
             self._reserved_links.clear()
             self._messages += node_index  # PATH_ERR to the source
             self._finish(

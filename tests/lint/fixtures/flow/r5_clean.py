@@ -1,0 +1,34 @@
+"""R5 counterpart fixtures that must lint clean.
+
+Every acquisition below is released on all paths, handed off, or
+covered by a lease; the sweep is hold-guarded.
+"""
+
+
+def release_in_finally(link, flow_id, bw, charge):
+    link.reserve(flow_id, bw)
+    try:
+        charge(flow_id)
+    finally:
+        link.release(flow_id)
+
+
+def handoff_to_ledger(link, flow_id, bw, ledger):
+    link.reserve(flow_id, bw)
+    ledger.append(link)  # ownership transferred: the ledger releases
+
+
+def lease_registered(link, flow_id, bw, leases):
+    link.reserve(flow_id, bw)
+    leases.register(flow_id, link)  # soft state collects orphans
+
+
+def guarded_sweep(links, flow_id):
+    for link in links:
+        if link.holds(flow_id):
+            link.release(flow_id)
+
+
+def tolerant_sweep(links, flow_id):
+    for link in links:
+        link.release_if_held(flow_id)

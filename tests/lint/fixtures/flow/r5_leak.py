@@ -1,0 +1,24 @@
+"""Planted R5 violations: reservation leaks on unexecuted paths.
+
+Linted (never imported) by ``tests/lint/test_flow_rules.py``; keep
+line numbers stable when editing.
+"""
+
+
+def leak_on_exception_only(link, flow_id, bw, charge):
+    link.reserve(flow_id, bw)  # line 9: R5 (leaks iff charge() raises)
+    charge(flow_id)
+    link.release(flow_id)
+
+
+def leak_on_early_return(link, flow_id, bw, budget):
+    link.reserve(flow_id, bw)  # line 15: R5 (held on the True branch exit)
+    if budget < 0:
+        return None
+    link.release(flow_id)
+    return budget
+
+
+def fragile_rollback(links, flow_id):
+    for link in links:
+        link.release(flow_id)  # line 24: R5 (KeyError strands the rest)

@@ -1,0 +1,23 @@
+"""R6 counterpart fixtures that must lint clean."""
+
+
+def uses_injected_stream(rng):
+    return rng.uniform(0.0, 1.0)
+
+
+def reads_through_link_api(link):
+    return link.available_bps
+
+
+def relative_schedule(simulator, link, callback):
+    delay = link.propagation_delay_s + 0.001
+    simulator.schedule(delay, callback)
+
+
+def branch_kills_constancy(simulator, flag, callback):
+    delay = 1.0
+    if flag:
+        delay = -1.0  # not constant at the call site: joined away
+    else:
+        delay = 2.0
+    simulator.schedule(delay, callback)

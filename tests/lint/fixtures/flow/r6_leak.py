@@ -1,0 +1,23 @@
+"""Planted R6 violations: signaling-handler discipline breaches.
+
+Linted (never imported) by ``tests/lint/test_flow_rules.py``; keep
+line numbers stable when editing.
+"""
+
+
+def mints_stream(factory):
+    return factory.stream("handler.jitter")  # line 9: R6 (stream minting)
+
+
+def reads_column(state, index):
+    return state.reserved[index]  # line 13: R6 (raw column access)
+
+
+def absolute_schedule(simulator, callback):
+    simulator.schedule_at(0.5, callback)  # line 17: R6 (absolute time)
+
+
+def negative_constant_delay(simulator, callback):
+    delay = 0.5
+    delay = delay - 1.0
+    simulator.schedule(delay, callback)  # line 23: R6 (delay == -0.5)

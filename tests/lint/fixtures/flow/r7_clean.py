@@ -1,0 +1,13 @@
+"""R7 counterpart fixture that must lint clean (for R7)."""
+
+
+def double(task):
+    return 2 * task
+
+
+def helper(task):
+    return double(task) + 1
+
+
+def run_pure(pool, tasks):
+    return pool.map(helper, tasks)

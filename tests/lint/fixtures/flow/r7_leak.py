@@ -1,0 +1,30 @@
+"""Planted R7 violations: impure callables cross the pool boundary.
+
+Linted (never imported) by ``tests/lint/test_flow_rules.py``; keep
+line numbers stable when editing.
+"""
+
+import random
+
+RESULTS_CACHE = {}
+
+
+def record(task):
+    RESULTS_CACHE[task] = True  # module-state mutation
+    return task
+
+
+def jittered(task):
+    return task + random.random()  # unseeded draw
+
+
+def run_mutating(pool, tasks):
+    return pool.map(record, tasks)  # line 22: R7 (module state)
+
+
+def run_random(pool, tasks):
+    return pool.map(jittered, tasks)  # line 26: R7 (unseeded rng)
+
+
+def run_lambda(pool, tasks):
+    return pool.map(lambda t: t + 1, tasks)  # line 30: R7 (lambda)

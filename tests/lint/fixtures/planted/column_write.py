@@ -18,4 +18,4 @@ def grow(state, value: float) -> None:
 
 
 def read_only(state, index: int) -> float:
-    return state.capacity[index] - state.reserved[index]  # allowed: read
+    return state.capacity[index] - state.reserved[index]  # line 21: R6 only

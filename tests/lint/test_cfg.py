@@ -1,0 +1,246 @@
+"""Unit tests for the CFG builder (repro.lint.cfg)."""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import (
+    BREAK,
+    EXCEPTION,
+    FALLTHROUGH,
+    NORMAL,
+    RETURN,
+    build_cfg,
+    iter_function_defs,
+    statement_can_raise,
+)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(iter_function_defs(tree)[0])
+
+
+def edges(graph):
+    """(source stmt or label, kind, target stmt or label) triples."""
+    def name(block):
+        if block.stmt is not None:
+            return ast.unparse(block.stmt).splitlines()[0]
+        return block.label
+    return {
+        (name(block), edge.kind, name(edge.target))
+        for block in graph.blocks
+        for edge in block.succ
+    }
+
+
+class TestCanRaise:
+    def test_calls_can_raise(self):
+        stmt = ast.parse("x = frobnicate()").body[0]
+        assert statement_can_raise(stmt)
+
+    def test_plain_assignment_cannot(self):
+        stmt = ast.parse("x = 0").body[0]
+        assert not statement_can_raise(stmt)
+
+    def test_whitelisted_calls_cannot(self):
+        stmt = ast.parse("out.append(x)").body[0]
+        assert not statement_can_raise(stmt)
+
+    def test_raise_and_assert_always_can(self):
+        assert statement_can_raise(ast.parse("raise ValueError()").body[0])
+        assert statement_can_raise(ast.parse("assert x").body[0])
+
+    def test_defining_a_closure_cannot(self):
+        stmt = ast.parse("def inner():\n    boom()").body[0]
+        assert not statement_can_raise(stmt)
+
+
+class TestLinearFlow:
+    def test_straight_line_reaches_exit(self):
+        graph = cfg_of(
+            """
+            def f():
+                x = 1
+                y = 2
+            """
+        )
+        assert ("y = 2", FALLTHROUGH, "exit") in edges(graph)
+
+    def test_raising_call_gets_exception_edge(self):
+        graph = cfg_of(
+            """
+            def f():
+                work()
+            """
+        )
+        assert ("work()", EXCEPTION, "raise_exit") in edges(graph)
+
+    def test_non_raising_statement_gets_none(self):
+        graph = cfg_of(
+            """
+            def f(out, x):
+                out.append(x)
+            """
+        )
+        assert ("out.append(x)", EXCEPTION, "raise_exit") not in edges(graph)
+
+
+class TestEarlyReturn:
+    def test_return_edge_goes_to_exit(self):
+        graph = cfg_of(
+            """
+            def f(flag):
+                if flag:
+                    return 1
+                return 2
+            """
+        )
+        all_edges = edges(graph)
+        assert ("return 1", RETURN, "exit") in all_edges
+        assert ("return 2", RETURN, "exit") in all_edges
+
+    def test_code_after_return_is_unreachable(self):
+        graph = cfg_of(
+            """
+            def f():
+                return 1
+                x = 2
+            """
+        )
+        assert not any(
+            block.stmt is not None and ast.unparse(block.stmt) == "x = 2"
+            for block in graph.blocks
+        )
+
+
+class TestTryFinally:
+    def test_finally_duplicated_per_continuation(self):
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                finally:
+                    cleanup()
+            """
+        )
+        labels = [block.label for block in graph.blocks]
+        assert "finally-exception" in labels
+        assert "finally-normal" in labels
+        # cleanup() appears once per live continuation copy
+        copies = [
+            block
+            for block in graph.blocks
+            if block.stmt is not None
+            and ast.unparse(block.stmt) == "cleanup()"
+        ]
+        assert len(copies) >= 2
+
+    def test_finally_completion_is_not_an_exception_edge(self):
+        # The exceptional copy re-raises *after* the finally body runs
+        # normally, so completing the copy must be a NORMAL edge into
+        # raise_exit (carrying the post-state), not an EXCEPTION edge.
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                finally:
+                    cleanup()
+            """
+        )
+        assert ("cleanup()", NORMAL, "raise_exit") in edges(graph)
+
+    def test_return_through_finally(self):
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    return work()
+                finally:
+                    cleanup()
+            """
+        )
+        assert "finally-return" in [block.label for block in graph.blocks]
+
+
+class TestExceptHandlers:
+    def test_specific_handler_keeps_outward_edge(self):
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    recover()
+            """
+        )
+        all_edges = edges(graph)
+        # The dispatch can bypass the non-catch-all handler outward.
+        assert ("except-dispatch", EXCEPTION, "raise_exit") in all_edges
+
+    def test_catch_all_handler_swallows(self):
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    recover()
+            """
+        )
+        assert ("except-dispatch", EXCEPTION, "raise_exit") not in edges(graph)
+
+    def test_raise_in_handler_escapes(self):
+        graph = cfg_of(
+            """
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    raise
+            """
+        )
+        assert ("raise", EXCEPTION, "raise_exit") in edges(graph)
+
+
+class TestWithBlocks:
+    def test_with_body_exceptions_propagate(self):
+        graph = cfg_of(
+            """
+            def f(lock):
+                with lock:
+                    work()
+            """
+        )
+        assert ("work()", EXCEPTION, "raise_exit") in edges(graph)
+
+
+class TestLoops:
+    def test_loop_depth_recorded(self):
+        graph = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    for sub in item:
+                        work(sub)
+                done()
+            """
+        )
+        depth = {
+            ast.unparse(block.stmt).splitlines()[0]: block.loop_depth
+            for block in graph.statement_blocks()
+        }
+        assert depth["work(sub)"] == 2
+        assert depth["done()"] == 0
+
+    def test_break_exits_loop(self):
+        graph = cfg_of(
+            """
+            def f(items):
+                for item in items:
+                    break
+                done()
+            """
+        )
+        assert ("break", BREAK, "after-loop") in edges(graph)

@@ -153,12 +153,28 @@ class TestPathScoping:
 
     def test_signaling_modules_are_order_critical(self):
         assert rules_for_path("src/repro/signaling/rsvp.py") == {
-            "R1", "R2", "R3", "R4",
+            "R1", "R2", "R3", "R4", "R5", "R6",
         }
         assert "R2" in rules_for_path("src/repro/signaling/softstate.py")
 
     def test_other_experiments_modules_skip_r2(self):
         assert "R2" not in rules_for_path("src/repro/experiments/runner.py")
+
+    def test_reservation_pairing_scope(self):
+        assert "R5" in rules_for_path("src/repro/network/topology.py")
+        assert "R5" in rules_for_path("src/repro/signaling/softstate.py")
+        assert "R5" in rules_for_path("src/repro/core/admission.py")
+        assert "R5" not in rules_for_path("src/repro/core/reservation.py")
+        assert "R5" not in rules_for_path("src/repro/sim/engine.py")
+
+    def test_signaling_discipline_scope(self):
+        assert "R6" in rules_for_path("src/repro/signaling/channel.py")
+        assert "R6" not in rules_for_path("src/repro/signaling/softstate.py")
+        assert "R6" not in rules_for_path("src/repro/network/link.py")
+
+    def test_pool_purity_scope(self):
+        assert "R7" in rules_for_path("src/repro/experiments/parallel.py")
+        assert "R7" not in rules_for_path("src/repro/experiments/runner.py")
 
     def test_files_outside_repro_get_every_rule(self):
         assert rules_for_path("tests/lint/fixtures/planted/x.py") == set(
@@ -173,6 +189,12 @@ class TestPlantedFixtures:
         ("column_write.py", 9, "R3"),
         ("column_write.py", 13, "R3"),
         ("column_write.py", 17, "R3"),
+        # Fixture files sit outside repro/, so they also get the
+        # R6 column-access rule on top of R3's write-only check.
+        ("column_write.py", 9, "R6"),
+        ("column_write.py", 13, "R6"),
+        ("column_write.py", 17, "R6"),
+        ("column_write.py", 21, "R6"),
         ("set_iteration.py", 10, "R2"),
         ("set_iteration.py", 17, "R2"),
         ("set_iteration.py", 21, "R2"),

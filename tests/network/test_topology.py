@@ -141,6 +141,17 @@ class TestPathOperations:
         net.release_path([0, 1, 2], "f")
         assert net.total_reserved_bps() == 0.0
 
+    def test_release_path_releases_survivors_before_raising(self):
+        # A fault (or lease GC) already collected the first leg; the
+        # sweep must still free the second leg, then report the hole —
+        # a strict hop-by-hop release would strand it (R5 regression).
+        net = build_triangle()
+        assert net.reserve_path([0, 1, 2], "f", 40.0)
+        net.link(0, 1).release("f")
+        with pytest.raises(KeyError):
+            net.release_path([0, 1, 2], "f")
+        assert net.total_reserved_bps() == 0.0
+
     def test_reserve_degenerate_path_succeeds(self):
         net = build_triangle()
         assert net.reserve_path([0], "f", 40.0)

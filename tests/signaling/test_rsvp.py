@@ -96,6 +96,30 @@ class TestFailedReservation:
         assert not any(link.holds("f1") for link in network.links())
         assert network.link(0, 1).holds("thief")
 
+    def test_race_rollback_tolerates_fault_collected_leg(self, network):
+        # Legacy-mode rollback regression (lint rule R5): while the
+        # RESV sweep holds (2,3) and (1,2), a fault collects (2,3) and
+        # a rival grabs (0,1).  The synchronous rollback must not
+        # KeyError on the missing leg and strand (1,2).
+        simulator = Simulator()
+        outcomes = []
+        session = RsvpSession(
+            simulator, network, ROUTE, "f1", 64_000.0, outcomes.append
+        )
+        session.start()
+
+        def fault_and_steal():
+            network.link(2, 3).release("f1")  # fault teardown took it
+            network.link(0, 1).reserve("thief", 64_000.0)
+
+        simulator.schedule(0.0045, fault_and_steal)
+        simulator.run()
+        assert len(outcomes) == 1
+        assert not outcomes[0].success
+        assert outcomes[0].failed_link == (0, 1)
+        assert not any(link.holds("f1") for link in network.links())
+        assert network.link(0, 1).holds("thief")
+
     def test_invalid_bandwidth_rejected(self, simulator, network):
         with pytest.raises(ValueError):
             RsvpSession(simulator, network, ROUTE, "f1", -1.0, lambda o: None)
